@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 5: selective-compression size/speed
+ * curves. For every benchmark, both compression schemes (dictionary and
+ * CodePack) are combined with both selection policies (execution-based
+ * and miss-based) at the paper's thresholds (5/10/15/20/50% of the
+ * profiled metric), plus the fully-compressed and fully-native
+ * endpoints. Each data point is (compression ratio, slowdown).
+ *
+ * Expected shapes (paper section 5.3):
+ *  - curves fall from the fully-compressed slowdown at the left to 1.0
+ *    at 100% compression ratio (fully native);
+ *  - miss-based selection beats execution-based on the loop-oriented
+ *    benchmarks (mpeg2enc, pegwit);
+ *  - occasional non-monotonicity from the procedure-placement effect;
+ *  - CodePack hybrids can be both smaller and faster than dictionary
+ *    hybrids at matched points (ijpeg, ghostscript in the paper).
+ */
+
+#include <cstdio>
+
+#include "../bench/common.h"
+#include "profile/selection.h"
+#include "support/table.h"
+
+using namespace rtd;
+using compress::Scheme;
+using profile::SelectionPolicy;
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::printf(
+        "=== Figure 5: selective compression size/speed curves ===\n");
+    double scale = bench::announceScale();
+    cpu::CpuConfig machine = core::paperMachine();
+    bench::printMachineHeader(machine);
+
+    for (const auto &benchmark : workload::paperBenchmarks()) {
+        prog::Program program = bench::generateBenchmark(benchmark, scale);
+        core::SystemResult native = core::runNative(program, machine);
+        profile::ProcedureProfile profile =
+            core::profileProgram(program, machine);
+
+        std::printf("\n--- %s ---\n", benchmark.spec.name.c_str());
+        Table table({"series", "threshold", "ratio", "slowdown"});
+        for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
+            for (SelectionPolicy policy :
+                 {SelectionPolicy::ExecutionBased,
+                  SelectionPolicy::MissBased}) {
+                std::string series =
+                    std::string(scheme == Scheme::Dictionary ? "D" : "CP") +
+                    " " + profile::policyName(policy);
+                for (double threshold :
+                     {0.0, 0.05, 0.10, 0.15, 0.20, 0.50, 1.0}) {
+                    auto regions = profile::selectNative(profile, policy,
+                                                         threshold);
+                    core::SystemResult run = core::runCompressed(
+                        program, scheme, false, machine, regions);
+                    table.addRow({
+                        series,
+                        fmtPercent(100 * threshold, 0),
+                        fmtPercent(100 * run.compressionRatio(), 1),
+                        fmtDouble(core::slowdown(run, native), 3),
+                    });
+                }
+            }
+        }
+        std::printf("%s", table.render().c_str());
+    }
+    return 0;
+}

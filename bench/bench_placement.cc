@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension bench: the unified selective-compression + code-placement
+ * framework the paper names as future work (section 5.3).
+ *
+ * For each benchmark:
+ *  1. native code with the original vs affinity (Pettis-Hansen-style)
+ *     procedure order — the classical placement win;
+ *  2. miss-based selective compression at the 20% threshold with the
+ *     original vs affinity order inside each region — does placement
+ *     recover the conflict misses that region splitting perturbs?
+ */
+
+#include <cstdio>
+
+#include "../bench/common.h"
+#include "profile/placement.h"
+#include "profile/selection.h"
+#include "support/table.h"
+
+using namespace rtd;
+using compress::Scheme;
+using profile::SelectionPolicy;
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::printf("=== Extension: unified selective compression + "
+                "placement (paper section 5.3 future work) ===\n");
+    double scale = bench::announceScale();
+    cpu::CpuConfig machine = core::paperMachine();
+    bench::printMachineHeader(machine);
+
+    Table table({"benchmark", "config", "miss ratio", "cycles",
+                 "vs original"});
+    for (const auto &benchmark : workload::paperBenchmarks()) {
+        prog::Program program = bench::generateBenchmark(benchmark, scale);
+        profile::ProcedureProfile profile =
+            core::profileProgram(program, machine);
+        auto order = profile::affinityOrder(program.procs.size(),
+                                            profile.transitions);
+        auto regions = profile::selectNative(
+            profile, SelectionPolicy::MissBased, 0.20);
+
+        core::SystemResult native = core::runNative(program, machine);
+        core::SystemResult native_placed =
+            core::runNative(program, machine, order);
+        core::SystemResult hybrid = core::runCompressed(
+            program, Scheme::Dictionary, false, machine, regions);
+        core::SystemResult hybrid_placed = core::runCompressed(
+            program, Scheme::Dictionary, false, machine, regions, order);
+
+        auto row = [&](const char *config,
+                       const core::SystemResult &run,
+                       const core::SystemResult &reference) {
+            table.addRow({
+                benchmark.spec.name,
+                config,
+                fmtPercent(100 * run.stats.icacheMissRatio(), 3),
+                fmtCount(run.stats.cycles),
+                fmtDouble(static_cast<double>(run.stats.cycles) /
+                              static_cast<double>(reference.stats.cycles),
+                          3),
+            });
+        };
+        row("native, original order", native, native);
+        row("native, affinity order", native_placed, native);
+        row("D miss@20%, original order", hybrid, hybrid);
+        row("D miss@20%, affinity order", hybrid_placed, hybrid);
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nExpected shape: affinity placement trims conflict "
+                "misses on the call-oriented\nbenchmarks (cc1/go/perl) "
+                "and composes with selective compression. Gains are\n"
+                "modest here because the synthetic benchmarks' misses "
+                "are mostly capacity misses\nfrom working sets that "
+                "cycle through the cache, which no ordering fixes —\n"
+                "[Pettis90]'s up-to-10%% wins come from conflict-"
+                "dominated codes.\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Extension bench: the cost locus of compressed code — dense 16-bit
+ * re-encoding (MIPS16/Thumb, paper section 3.3) vs run-time
+ * decompression.
+ *
+ * The 16-bit baseline pays on every *execution* (more instructions); the
+ * paper's decompressors pay on every *miss*. Consequences this bench
+ * makes visible:
+ *
+ *  - 16-bit slowdown is nearly constant across benchmarks, regardless
+ *    of miss ratio; decompression slowdown tracks the miss ratio, so
+ *    loop-oriented programs run at native speed;
+ *  - for 16-bit hybrids, execution-based selection is the right policy
+ *    (keep the hottest procedures 32-bit) — the reason MIPS16/Thumb
+ *    tooling profiles execution, and the foil for the paper's argument
+ *    that *miss-based* selection fits cache-miss-time decompression.
+ */
+
+#include <cstdio>
+
+#include "../bench/common.h"
+#include "isa16/thumb.h"
+#include "profile/selection.h"
+#include "support/table.h"
+
+using namespace rtd;
+using compress::Scheme;
+using profile::SelectionPolicy;
+
+namespace {
+
+/** Run the 16-bit translation of @p program with a native-proc mask. */
+core::SystemResult
+runThumb(const prog::Program &program, const cpu::CpuConfig &machine,
+         const std::vector<uint8_t> &mask, uint32_t *size16)
+{
+    isa16::ThumbProgram thumb = isa16::translateProgram(program, mask);
+    *size16 = thumb.textBytes16();
+    return core::runNative(thumb.program, machine);
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::printf("=== Extension: 16-bit re-encoding (MIPS16/Thumb "
+                "model) vs run-time decompression ===\n");
+    double scale = bench::announceScale();
+    cpu::CpuConfig machine = core::paperMachine();
+    bench::printMachineHeader(machine);
+
+    std::printf("\n--- full translation vs full compression ---\n");
+    Table table({"benchmark", "miss%", "16-bit ratio", "16-bit slow",
+                 "insn overhead", "D slow", "CP slow"});
+    for (const auto &benchmark : workload::paperBenchmarks()) {
+        prog::Program program = bench::generateBenchmark(benchmark, scale);
+        core::SystemResult native = core::runNative(program, machine);
+        uint32_t size16 = 0;
+        std::vector<uint8_t> all(program.procs.size(), 1);
+        core::SystemResult thumb =
+            runThumb(program, machine, all, &size16);
+        core::SystemResult dict = core::runCompressed(
+            program, Scheme::Dictionary, true, machine);
+        core::SystemResult cp = core::runCompressed(
+            program, Scheme::CodePack, true, machine);
+        table.addRow({
+            benchmark.spec.name,
+            fmtPercent(100 * native.stats.icacheMissRatio(), 2),
+            fmtPercent(percent(size16, program.textBytes()), 1),
+            fmtDouble(core::slowdown(thumb, native), 3),
+            fmtPercent(percent(thumb.stats.userInsns,
+                               native.stats.userInsns) - 100.0, 1),
+            fmtDouble(core::slowdown(dict, native), 3),
+            fmtDouble(core::slowdown(cp, native), 3),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Selective 16-bit: the hottest procedures stay 32-bit. Exec-based
+    // selection is the natural policy here (cost is per execution).
+    std::printf("\n--- selective 16-bit: exec- vs miss-based selection "
+                "(loop-oriented benchmarks) ---\n");
+    Table sel({"benchmark", "policy", "threshold", "ratio", "slowdown"});
+    for (const char *name : {"mpeg2enc", "pegwit", "cc1"}) {
+        const auto &benchmark = workload::paperBenchmark(name);
+        prog::Program program = bench::generateBenchmark(benchmark, scale);
+        core::SystemResult native = core::runNative(program, machine);
+        profile::ProcedureProfile profile =
+            core::profileProgram(program, machine);
+        for (SelectionPolicy policy : {SelectionPolicy::ExecutionBased,
+                                       SelectionPolicy::MissBased}) {
+            for (double threshold : {0.20, 0.50}) {
+                auto regions = profile::selectNative(profile, policy,
+                                                     threshold);
+                std::vector<uint8_t> mask(regions.size());
+                for (size_t i = 0; i < regions.size(); ++i)
+                    mask[i] = regions[i] == prog::Region::Compressed;
+                uint32_t size16 = 0;
+                core::SystemResult run =
+                    runThumb(program, machine, mask, &size16);
+                sel.addRow({
+                    name,
+                    profile::policyName(policy),
+                    fmtPercent(100 * threshold, 0),
+                    fmtPercent(percent(size16, program.textBytes()), 1),
+                    fmtDouble(core::slowdown(run, native), 3),
+                });
+            }
+        }
+    }
+    std::printf("%s", sel.render().c_str());
+
+    std::printf("\nExpected shape: the 16-bit baseline's slowdown is "
+                "flat across benchmarks (its cost\nis paid on every "
+                "execution) while decompression tracks the miss ratio — "
+                "the cost-locus\ncontrast behind section 3.3. In the "
+                "selective table the two policies sit within\nplacement "
+                "noise of each other because our synthetic translation "
+                "overhead (~6%% more\ninstructions; the paper quotes "
+                "15-20%% for real Thumb, whose compilers need more\n"
+                "fixups) is small at these thresholds. Published Thumb "
+                "compresses to ~70%%; the\nsynthetic workloads' "
+                "immediate-heavy mix (no 16-bit encodings exist for "
+                "immediate\nlogicals) lands higher.\n");
+    return 0;
+}

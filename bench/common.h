@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries. Each bench regenerates one of
+ * the paper's tables or figures by running full simulations and printing
+ * paper-vs-measured rows.
+ */
+
+#ifndef RTDC_BENCH_COMMON_H
+#define RTDC_BENCH_COMMON_H
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "support/logging.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace rtd::bench {
+
+/** Print the Table 1 machine configuration this bench simulates. */
+inline void
+printMachineHeader(const cpu::CpuConfig &machine)
+{
+    std::printf("machine: 1-wide in-order | I$ %uKB/%uB/%u-way LRU | "
+                "D$ %uKB/%uB/%u-way LRU | bimodal %u | mem %u-cycle "
+                "latency, %u-cycle rate, %u-bit bus\n",
+                machine.icache.sizeBytes / 1024, machine.icache.lineBytes,
+                machine.icache.assoc, machine.dcache.sizeBytes / 1024,
+                machine.dcache.lineBytes, machine.dcache.assoc,
+                machine.predictorEntries,
+                machine.memTiming.firstAccessCycles,
+                machine.memTiming.burstRateCycles,
+                machine.memTiming.busBytes * 8);
+}
+
+/** Print the dynamic-scale banner (RTDC_BENCH_SCALE). */
+inline double
+announceScale()
+{
+    double scale = core::benchScaleFromEnv();
+    if (scale != 1.0)
+        std::printf("dynamic-length scale: %.3fx (RTDC_BENCH_SCALE)\n",
+                    scale);
+    return scale;
+}
+
+/** Generate one paper benchmark's program at the given dynamic scale. */
+inline prog::Program
+generateBenchmark(const workload::PaperBenchmark &benchmark, double scale)
+{
+    workload::WorkloadGenerator gen(
+        workload::scaledSpec(benchmark, scale));
+    return gen.generate();
+}
+
+} // namespace rtd::bench
+
+#endif // RTDC_BENCH_COMMON_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Embedded-system sizing study: how big an I-cache does a compressed
+ * system need? Sweeps the I-cache from 2 KB to 64 KB for a SPEC-style
+ * benchmark and reports total on-chip+off-chip memory versus speed —
+ * the trade the paper's section 5.2 discusses ("when considering total
+ * memory savings, the cache size should be considered").
+ *
+ *   $ ./build/examples/cache_sweep [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.h"
+#include "support/table.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+using namespace rtd;
+using compress::Scheme;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "go";
+    const workload::PaperBenchmark &benchmark =
+        workload::paperBenchmark(name);
+    workload::WorkloadGenerator gen(
+        workload::scaledSpec(benchmark, 0.5));
+    prog::Program program = gen.generate();
+
+    std::printf("cache sweep for '%s' (%u bytes of native text)\n\n",
+                name.c_str(), program.textBytes());
+
+    Table table({"I$", "miss ratio", "native cyc", "D slowdown",
+                 "CP slowdown", "D mem bytes", "CP mem bytes"});
+    for (uint32_t kb : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        cpu::CpuConfig machine = core::paperMachine(kb * 1024);
+        core::SystemResult native = core::runNative(program, machine);
+        core::SystemResult dict = core::runCompressed(
+            program, Scheme::Dictionary, true, machine);
+        core::SystemResult cp = core::runCompressed(
+            program, Scheme::CodePack, true, machine);
+
+        // "Total memory" = main-memory image + the cache itself: a
+        // bigger cache buys speed but eats the compression savings.
+        auto mem = [&](const core::SystemResult &r) {
+            return r.compressedPayloadBytes + r.nativeRegionBytes +
+                   kb * 1024;
+        };
+        table.addRow({
+            std::to_string(kb) + "KB",
+            fmtPercent(100 * native.stats.icacheMissRatio(), 3),
+            fmtCount(native.stats.cycles),
+            fmtDouble(core::slowdown(dict, native), 2),
+            fmtDouble(core::slowdown(cp, native), 2),
+            fmtCount(mem(dict)),
+            fmtCount(mem(cp)),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nLarger caches drive the miss ratio (and so the "
+                "decompression overhead) down,\nbut a very large cache "
+                "only makes sense for the larger programs (section "
+                "5.2).\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Scheme shootout: one workload, every code-size technique in the
+ * repository — the paper's dictionary and CodePack software
+ * decompressors (each with and without the second register file) and
+ * the Kirovski-style procedure cache — compared on size, speed, and
+ * where the time goes.
+ *
+ *   $ ./build/examples/scheme_shootout [benchmark] [dyn_scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.h"
+#include "support/table.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+using namespace rtd;
+using compress::Scheme;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "perl";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    const workload::PaperBenchmark &benchmark =
+        workload::paperBenchmark(name);
+    workload::WorkloadGenerator gen(
+        workload::scaledSpec(benchmark, scale));
+    prog::Program program = gen.generate();
+
+    cpu::CpuConfig machine = core::paperMachine();
+    core::SystemResult native = core::runNative(program, machine);
+    std::printf("'%s': %s bytes of text, %s dynamic instructions, "
+                "%.2f%% miss ratio\n\n",
+                name.c_str(), fmtCount(program.textBytes()).c_str(),
+                fmtCount(native.stats.userInsns).c_str(),
+                100 * native.stats.icacheMissRatio());
+
+    Table table({"scheme", "ratio", "slowdown", "exceptions",
+                 "handler insns", "cycles/exception"});
+    auto row = [&](const char *label, const core::SystemResult &run) {
+        uint64_t exc = run.stats.exceptions;
+        table.addRow({
+            label,
+            fmtPercent(100 * run.compressionRatio(), 1),
+            fmtDouble(core::slowdown(run, native), 2),
+            fmtCount(exc),
+            fmtCount(run.stats.handlerInsns),
+            exc ? fmtCount((run.stats.cycles - native.stats.cycles) /
+                           exc)
+                : std::string("-"),
+        });
+    };
+
+    row("native", native);
+    row("dictionary",
+        core::runCompressed(program, Scheme::Dictionary, false, machine));
+    row("dictionary + RF",
+        core::runCompressed(program, Scheme::Dictionary, true, machine));
+    row("codepack",
+        core::runCompressed(program, Scheme::CodePack, false, machine));
+    row("codepack + RF",
+        core::runCompressed(program, Scheme::CodePack, true, machine));
+    row("huffman (CCRP)",
+        core::runCompressed(program, Scheme::HuffmanLine, false, machine));
+    for (uint32_t kb : {16u, 64u}) {
+        core::SystemConfig config;
+        config.cpu = machine;
+        config.scheme = Scheme::ProcLzrw1;
+        config.procCache.capacityBytes = kb * 1024;
+        core::System system(program, config);
+        std::string label = "proc-lzrw1 " + std::to_string(kb) + "KB";
+        row(label.c_str(), system.run());
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nWhat to look for: the dictionary handler costs ~75 "
+                "instructions per missed line,\nCodePack ~1000 per "
+                "2-line group, the procedure cache several thousand per "
+                "whole\nprocedure -- the cache-line granularity of the "
+                "paper's scheme is why it is stable\nwhere procedure "
+                "granularity thrashes.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Selective compression walkthrough (paper section 3.3) on a MediaBench-
+ * style loop-oriented workload: profile the native program, rank
+ * procedures by execution count and by I-cache miss count, and sweep the
+ * native/compressed split to trade code size against speed.
+ *
+ *   $ ./build/examples/selective_compression
+ */
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "profile/selection.h"
+#include "support/table.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+using namespace rtd;
+using compress::Scheme;
+using profile::SelectionPolicy;
+
+int
+main()
+{
+    // A loop-oriented workload: this is where miss-based selection beats
+    // the execution-based profiles used by MIPS16/Thumb tooling.
+    workload::WorkloadSpec spec =
+        workload::scaledSpec(workload::paperBenchmark("mpeg2enc"), 1.0);
+    workload::WorkloadGenerator gen(spec);
+    prog::Program program = gen.generate();
+
+    cpu::CpuConfig machine = core::paperMachine();
+    core::SystemResult native = core::runNative(program, machine);
+    profile::ProcedureProfile profile =
+        core::profileProgram(program, machine);
+
+    // Show the top procedures under each ranking.
+    std::printf("profiled %zu procedures: %llu dynamic insns, "
+                "%llu I-misses\n\n",
+                program.procs.size(),
+                static_cast<unsigned long long>(profile.totalExec()),
+                static_cast<unsigned long long>(profile.totalMisses()));
+    auto top = [&](const std::vector<uint64_t> &metric, const char *what) {
+        size_t best = 0;
+        for (size_t i = 1; i < metric.size(); ++i) {
+            if (metric[i] > metric[best])
+                best = i;
+        }
+        std::printf("hottest by %-12s %-10s (%llu)\n", what,
+                    program.procs[best].name.c_str(),
+                    static_cast<unsigned long long>(metric[best]));
+    };
+    top(profile.execInsns, "execution:");
+    top(profile.missCounts, "misses:");
+
+    // Sweep the paper's thresholds for both policies under dictionary
+    // compression.
+    std::printf("\nsize/speed sweep (dictionary compression):\n");
+    Table table({"policy", "threshold", "native procs", "ratio",
+                 "slowdown"});
+    for (SelectionPolicy policy : {SelectionPolicy::ExecutionBased,
+                                   SelectionPolicy::MissBased}) {
+        for (double threshold : {0.0, 0.05, 0.10, 0.15, 0.20, 0.50}) {
+            auto regions =
+                profile::selectNative(profile, policy, threshold);
+            size_t natives = 0;
+            for (prog::Region r : regions)
+                natives += r == prog::Region::Native;
+            core::SystemResult run = core::runCompressed(
+                program, Scheme::Dictionary, false, machine, regions);
+            table.addRow({
+                profile::policyName(policy),
+                fmtPercent(100 * threshold, 0),
+                std::to_string(natives),
+                fmtPercent(100 * run.compressionRatio(), 1),
+                fmtDouble(core::slowdown(run, native), 3),
+            });
+        }
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nOn loop-oriented code the execution profile wastes "
+                "native bytes on loops that\nwould run at native speed "
+                "anyway once decompressed; the miss profile spends\n"
+                "them on the procedures that actually pay the "
+                "decompression exception cost.\n");
+    return 0;
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Set-associative cache with true LRU replacement and support for
+ * software-managed line installation (the paper's `swic` instruction).
+ *
+ * The same class models both the I-cache (16 KB, 32 B lines, 2-way in the
+ * paper's baseline) and the D-cache (8 KB, 16 B lines, 2-way,
+ * write-back/write-allocate).
+ *
+ * The cache stores real data so that a compressed program's decompressed
+ * region can "exist only in the cache" (Figure 3): the decompressor
+ * installs reconstructed words with swicWrite() and the CPU subsequently
+ * fetches them from the line storage.
+ */
+
+#ifndef RTDC_CACHE_CACHE_H
+#define RTDC_CACHE_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace rtd::cache {
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 16 * 1024;
+    uint32_t lineBytes = 32;
+    unsigned assoc = 2;
+
+    uint32_t numSets() const { return sizeBytes / (lineBytes * assoc); }
+    void check() const;
+};
+
+/** Information about a line evicted by a fill or swic allocation. */
+struct Eviction
+{
+    bool valid = false;   ///< an existing line was evicted
+    bool dirty = false;   ///< it held unwritten-back stores
+    uint32_t addr = 0;    ///< its line base address
+};
+
+/** Set-associative, true-LRU, data-carrying cache model. */
+class Cache
+{
+  public:
+    Cache(std::string name, CacheConfig config);
+
+    const CacheConfig &config() const { return config_; }
+    const std::string &name() const { return name_; }
+
+    /** Line base address containing @p addr. */
+    uint32_t lineAddr(uint32_t addr) const
+    {
+        return addr & ~(config_.lineBytes - 1);
+    }
+
+    /**
+     * Look up @p addr, updating LRU and hit/miss statistics.
+     * @return true on hit.
+     */
+    bool access(uint32_t addr);
+
+    /** Probe without statistics or LRU update. */
+    bool probe(uint32_t addr) const;
+
+    /**
+     * Install the line containing @p addr from @p src (lineBytes bytes,
+     * the hardware fill path). The line becomes MRU and clean.
+     *
+     * @param writeback_buf when non-null and a dirty line is evicted,
+     *        its lineBytes of data are copied here so the caller can
+     *        write them back to memory
+     * @return eviction info for writeback accounting.
+     */
+    Eviction fillLine(uint32_t addr, const uint8_t *src,
+                      uint8_t *writeback_buf = nullptr);
+
+    /**
+     * Software-managed word install (the `swic` instruction): write
+     * @p word at @p addr in the I-cache. If the containing line is not
+     * present, a victim way is allocated first (its other words are left
+     * as-is until subsequent swic stores fill them — the decompressor
+     * always writes the full line).
+     * @return eviction info when an allocation displaced a valid line.
+     */
+    Eviction swicWrite(uint32_t addr, uint32_t word);
+
+    /// @name Data access (line must be present)
+    /// @{
+    uint32_t read32(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;
+    uint8_t read8(uint32_t addr) const;
+    void write32(uint32_t addr, uint32_t value); ///< marks line dirty
+    void write16(uint32_t addr, uint16_t value);
+    void write8(uint32_t addr, uint8_t value);
+    /// @}
+
+    /** Copy a whole (dirty) line out, e.g. for writeback. */
+    void readLine(uint32_t addr, uint8_t *dst) const;
+
+    /** Invalidate everything (does not write back). */
+    void flush();
+
+    /**
+     * Invalidate every line intersecting [addr, addr+size) without
+     * writing back (used when the procedure cache evicts decompressed
+     * code). @return number of lines invalidated.
+     */
+    unsigned invalidateRange(uint32_t addr, uint32_t size);
+
+    /**
+     * Write back and invalidate every dirty line intersecting
+     * [addr, addr+size): the coherence flush a software decompressor
+     * needs after writing code through the D-cache. @p writeback is
+     * called with (line_addr, data) for each dirty line.
+     * @return number of dirty lines written back.
+     */
+    unsigned flushRange(uint32_t addr, uint32_t size,
+                        const std::function<void(uint32_t,
+                                                 const uint8_t *)>
+                            &writeback);
+
+    /// @name Statistics
+    /// @{
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t swicAllocs() const { return swicAllocs_; }
+    double missRatio() const;
+    void resetStats();
+    /// @}
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    /** way index within the set, or -1 on miss. */
+    int findWay(uint32_t set, uint32_t tag) const;
+    /** LRU way of a set (an invalid way wins immediately). */
+    unsigned victimWay(uint32_t set) const;
+    /** Allocate a line for @p line_addr, returning its way. */
+    unsigned allocate(uint32_t line_addr, Eviction &evicted);
+
+    uint32_t setIndex(uint32_t addr) const
+    {
+        return (addr / config_.lineBytes) & (config_.numSets() - 1);
+    }
+    uint32_t tagOf(uint32_t addr) const
+    {
+        return addr / config_.lineBytes / config_.numSets();
+    }
+    uint8_t *lineData(uint32_t set, unsigned way)
+    {
+        return data_.data() +
+               (static_cast<size_t>(set) * config_.assoc + way) *
+                   config_.lineBytes;
+    }
+    const uint8_t *lineData(uint32_t set, unsigned way) const
+    {
+        return data_.data() +
+               (static_cast<size_t>(set) * config_.assoc + way) *
+                   config_.lineBytes;
+    }
+    /** Locate present line for addr; panics when absent. */
+    void locate(uint32_t addr, uint32_t &set, unsigned &way) const;
+
+    std::string name_;
+    CacheConfig config_;
+    std::vector<Line> lines_;   ///< numSets * assoc
+    std::vector<uint8_t> data_; ///< backing storage
+    uint64_t useClock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t swicAllocs_ = 0;
+};
+
+} // namespace rtd::cache
+
+#endif // RTDC_CACHE_CACHE_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * MSB-first bit stream reader/writer used by the CodePack codec.
+ *
+ * Bit order matches the software decompressor's refill sequence
+ * (`buf |= byte << (24 - n)`): the most significant bit of each byte is
+ * consumed first.
+ */
+
+#ifndef RTDC_COMPRESS_BITSTREAM_H
+#define RTDC_COMPRESS_BITSTREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace rtd::compress {
+
+/** Append-only MSB-first bit writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p width bits of @p value, MSB first. */
+    void
+    put(uint32_t value, unsigned width)
+    {
+        RTDC_ASSERT(width <= 32, "BitWriter::put width %u", width);
+        for (unsigned i = width; i > 0; --i) {
+            unsigned bit = (value >> (i - 1)) & 1u;
+            if (bitPos_ == 0)
+                bytes_.push_back(0);
+            bytes_.back() = static_cast<uint8_t>(
+                bytes_.back() | (bit << (7 - bitPos_)));
+            bitPos_ = (bitPos_ + 1) & 7;
+        }
+    }
+
+    /** Pad with zero bits to the next byte boundary. */
+    void
+    alignByte()
+    {
+        bitPos_ = 0;
+    }
+
+    /** Total bytes emitted so far (including a partial final byte). */
+    size_t sizeBytes() const { return bytes_.size(); }
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    std::vector<uint8_t> take() { bitPos_ = 0; return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    unsigned bitPos_ = 0;
+};
+
+/** MSB-first bit reader over a byte buffer. */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    /** Read @p width bits, MSB first. */
+    uint32_t
+    get(unsigned width)
+    {
+        RTDC_ASSERT(width <= 32, "BitReader::get width %u", width);
+        uint32_t value = 0;
+        for (unsigned i = 0; i < width; ++i) {
+            size_t byte = pos_ >> 3;
+            RTDC_ASSERT(byte < size_, "BitReader overrun");
+            unsigned bit = (data_[byte] >> (7 - (pos_ & 7))) & 1u;
+            value = (value << 1) | bit;
+            ++pos_;
+        }
+        return value;
+    }
+
+    /** Skip to the next byte boundary. */
+    void
+    alignByte()
+    {
+        pos_ = (pos_ + 7) & ~static_cast<size_t>(7);
+    }
+
+    /** Position one past the last consumed bit. */
+    size_t bitPos() const { return pos_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+} // namespace rtd::compress
+
+#endif // RTDC_COMPRESS_BITSTREAM_H

@@ -1,0 +1,254 @@
+#include "compress/codepack.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "compress/bitstream.h"
+#include "program/program.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::compress {
+
+namespace {
+
+using Params = CodePackParams;
+
+/**
+ * Frequency-rank the halfword values of one stream. Ties are broken by
+ * value for determinism. Only the first dictEntries ranks are indexable;
+ * the rest are escaped as literals.
+ */
+std::vector<uint16_t>
+rankValues(const std::vector<uint16_t> &halves)
+{
+    std::unordered_map<uint16_t, uint32_t> freq;
+    freq.reserve(halves.size());
+    for (uint16_t h : halves)
+        ++freq[h];
+    std::vector<std::pair<uint16_t, uint32_t>> ranked(freq.begin(),
+                                                      freq.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (ranked.size() > Params::dictEntries)
+        ranked.resize(Params::dictEntries);
+    std::vector<uint16_t> dict;
+    dict.reserve(ranked.size());
+    for (const auto &[value, count] : ranked)
+        dict.push_back(value);
+    return dict;
+}
+
+/** value -> rank lookup built from a ranked dictionary. */
+std::unordered_map<uint16_t, uint32_t>
+rankMap(const std::vector<uint16_t> &dict)
+{
+    std::unordered_map<uint16_t, uint32_t> map;
+    map.reserve(dict.size());
+    for (size_t i = 0; i < dict.size(); ++i)
+        map.emplace(dict[i], static_cast<uint32_t>(i));
+    return map;
+}
+
+/** Encode one halfword against its rank map. */
+void
+encodeHalf(BitWriter &bw, uint16_t value,
+           const std::unordered_map<uint16_t, uint32_t> &ranks)
+{
+    auto it = ranks.find(value);
+    if (it == ranks.end()) {
+        bw.put(0b11, 2);
+        bw.put(value, 16);
+        return;
+    }
+    uint32_t rank = it->second;
+    if (rank == 0) {
+        bw.put(0b00, 2);
+    } else if (rank < Params::class2First) {
+        bw.put(0b01, 2);
+        bw.put(rank - Params::class1First, 4);
+    } else if (rank < Params::class3First) {
+        bw.put(0b100, 3);
+        bw.put(rank - Params::class2First, 6);
+    } else {
+        bw.put(0b101, 3);
+        bw.put(rank - Params::class3First, 8);
+    }
+}
+
+/** Decode one halfword (reference decoder). */
+uint16_t
+decodeHalf(BitReader &br, const std::vector<uint16_t> &dict)
+{
+    auto lookup = [&dict](uint32_t rank) -> uint16_t {
+        RTDC_ASSERT(rank < dict.size(), "codepack rank %u outside dict",
+                    rank);
+        return dict[rank];
+    };
+    uint32_t tag = br.get(2);
+    switch (tag) {
+      case 0b00:
+        return lookup(0);
+      case 0b01:
+        return lookup(Params::class1First + br.get(4));
+      case 0b10:
+        if (br.get(1) == 0)
+            return lookup(Params::class2First + br.get(6));
+        return lookup(Params::class3First + br.get(8));
+      default:
+        return static_cast<uint16_t>(br.get(16));
+    }
+}
+
+} // namespace
+
+uint32_t
+CodePackCompressed::groupOffset(size_t g) const
+{
+    size_t pair = g / 2;
+    RTDC_ASSERT(pair < mapTable.size(), "group %zu outside map table", g);
+    uint32_t entry = mapTable[pair];
+    uint32_t offset = entry & 0x00ffffffu;
+    if (g & 1)
+        offset += entry >> 24;
+    return offset;
+}
+
+uint32_t
+CodePackCompressed::compressedBytes() const
+{
+    return static_cast<uint32_t>(stream.size() + mapTable.size() * 4 +
+                                 highDict.size() * 2 + lowDict.size() * 2);
+}
+
+CodePackCompressed
+CodePack::compress(const std::vector<uint32_t> &words)
+{
+    std::vector<uint32_t> padded = words;
+    while (padded.size() % Params::groupInsns != 0)
+        padded.push_back(isa::nopWord());
+
+    std::vector<uint16_t> highs, lows;
+    highs.reserve(padded.size());
+    lows.reserve(padded.size());
+    for (uint32_t w : padded) {
+        highs.push_back(static_cast<uint16_t>(w >> 16));
+        lows.push_back(static_cast<uint16_t>(w));
+    }
+
+    CodePackCompressed out;
+    out.numInsns = padded.size();
+    out.highDict = rankValues(highs);
+    out.lowDict = rankValues(lows);
+    auto high_ranks = rankMap(out.highDict);
+    auto low_ranks = rankMap(out.lowDict);
+
+    BitWriter bw;
+    size_t groups = padded.size() / Params::groupInsns;
+    out.mapTable.reserve((groups + 1) / 2);
+    uint32_t even_offset = 0;
+    for (size_t g = 0; g < groups; ++g) {
+        auto offset = static_cast<uint32_t>(bw.sizeBytes());
+        if ((g & 1) == 0) {
+            RTDC_ASSERT(offset < (1u << 24),
+                        "codeword stream exceeds 16 MB");
+            even_offset = offset;
+            out.mapTable.push_back(offset);
+        } else {
+            uint32_t delta = offset - even_offset;
+            RTDC_ASSERT(delta < 256, "group longer than 255 bytes");
+            out.mapTable.back() |= delta << 24;
+        }
+        for (unsigned i = 0; i < Params::groupInsns; ++i) {
+            size_t idx = g * Params::groupInsns + i;
+            encodeHalf(bw, highs[idx], high_ranks);
+            encodeHalf(bw, lows[idx], low_ranks);
+        }
+        bw.alignByte();
+    }
+    out.stream = bw.take();
+    return out;
+}
+
+void
+CodePack::decompressGroup(const CodePackCompressed &compressed,
+                          size_t group_idx, uint32_t out[16])
+{
+    size_t offset = compressed.groupOffset(group_idx);
+    BitReader br(compressed.stream.data() + offset,
+                 compressed.stream.size() - offset);
+    for (unsigned i = 0; i < Params::groupInsns; ++i) {
+        uint16_t hi = decodeHalf(br, compressed.highDict);
+        uint16_t lo = decodeHalf(br, compressed.lowDict);
+        out[i] = static_cast<uint32_t>(hi) << 16 | lo;
+    }
+}
+
+std::vector<uint32_t>
+CodePack::decompress(const CodePackCompressed &compressed)
+{
+    std::vector<uint32_t> words(compressed.numInsns);
+    size_t groups = compressed.numInsns / Params::groupInsns;
+    for (size_t g = 0; g < groups; ++g)
+        decompressGroup(compressed, g, words.data() + g * Params::groupInsns);
+    return words;
+}
+
+CompressedImage
+CodePack::buildImage(const std::vector<uint32_t> &words,
+                     uint32_t decomp_base)
+{
+    CodePackCompressed cp = compress(words);
+
+    CompressedImage image;
+    image.scheme = Scheme::CodePack;
+
+    uint32_t cursor = prog::layout::compressedBase;
+    auto add_segment = [&](const char *name, std::vector<uint8_t> bytes,
+                           uint32_t align) {
+        cursor = static_cast<uint32_t>(alignUp(cursor, align));
+        CompressedSegment seg;
+        seg.name = name;
+        seg.base = cursor;
+        seg.bytes = std::move(bytes);
+        cursor += static_cast<uint32_t>(seg.bytes.size());
+        image.segments.push_back(std::move(seg));
+        return image.segments.back().base;
+    };
+
+    auto halves_bytes = [](const std::vector<uint16_t> &halves) {
+        std::vector<uint8_t> bytes(halves.size() * 2);
+        for (size_t i = 0; i < halves.size(); ++i) {
+            bytes[i * 2] = static_cast<uint8_t>(halves[i]);
+            bytes[i * 2 + 1] = static_cast<uint8_t>(halves[i] >> 8);
+        }
+        return bytes;
+    };
+    std::vector<uint8_t> map_bytes(cp.mapTable.size() * 4);
+    for (size_t i = 0; i < cp.mapTable.size(); ++i) {
+        uint32_t v = cp.mapTable[i];
+        map_bytes[i * 4] = static_cast<uint8_t>(v);
+        map_bytes[i * 4 + 1] = static_cast<uint8_t>(v >> 8);
+        map_bytes[i * 4 + 2] = static_cast<uint8_t>(v >> 16);
+        map_bytes[i * 4 + 3] = static_cast<uint8_t>(v >> 24);
+    }
+
+    uint32_t stream_base = add_segment(".codewords", cp.stream, 8);
+    uint32_t map_base = add_segment(".map", std::move(map_bytes), 4);
+    uint32_t high_base =
+        add_segment(".highdict", halves_bytes(cp.highDict), 4);
+    uint32_t low_base = add_segment(".lowdict", halves_bytes(cp.lowDict), 4);
+
+    image.c0[isa::C0DecompBase] = decomp_base;
+    image.c0[isa::C0IndexBase] = stream_base;
+    image.c0[isa::C0MapBase] = map_base;
+    image.c0[isa::C0HighDictBase] = high_base;
+    image.c0[isa::C0LowDictBase] = low_base;
+    return image;
+}
+
+} // namespace rtd::compress

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dictionary compression (paper section 3.1, [Lefurgy98]).
+ *
+ * Every unique 32-bit instruction in the compressed region is placed in a
+ * dictionary; each instruction is replaced by a 16-bit index. Because
+ * both the native instructions and the codewords have fixed sizes, the
+ * compressed address of a native address is a pure calculation —
+ *
+ *     index_addr = index_base + ((native_addr - decomp_base) >> 1)
+ *
+ * — and no mapping table is needed, which is the key performance
+ * advantage over CodePack.
+ */
+
+#ifndef RTDC_COMPRESS_DICTIONARY_H
+#define RTDC_COMPRESS_DICTIONARY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/compressed_image.h"
+
+namespace rtd::compress {
+
+/** Result of dictionary-compressing an instruction stream. */
+struct DictionaryCompressed
+{
+    std::vector<uint16_t> indices;     ///< one per instruction
+    std::vector<uint32_t> dictionary;  ///< unique instruction words
+
+    /** Compressed payload bytes: 2 per index + 4 per dictionary entry. */
+    uint32_t
+    compressedBytes() const
+    {
+        return static_cast<uint32_t>(indices.size()) * 2 +
+               static_cast<uint32_t>(dictionary.size()) * 4;
+    }
+};
+
+/**
+ * Dictionary compressor.
+ *
+ * The 16-bit index limits the dictionary to 64K unique instructions
+ * (paper section 3.1); compress() reports failure beyond that so the
+ * caller can fall back to selective compression.
+ */
+class DictionaryCompressor
+{
+  public:
+    /**
+     * Compress an instruction stream.
+     * @param words the compressed-region instructions
+     * @return the compressed form; fatal() when the stream has more than
+     *         64K unique instructions
+     */
+    static DictionaryCompressed compress(
+        const std::vector<uint32_t> &words);
+
+    /** Reference (C++) decompressor, used by round-trip tests. */
+    static std::vector<uint32_t> decompress(
+        const DictionaryCompressed &compressed);
+
+    /**
+     * Build the memory image: .dictionary and .indices segments at
+     * layout::compressedBase, plus the c0 registers of Figure 2.
+     *
+     * @param words       compressed-region instruction stream
+     * @param decomp_base base VA of the decompressed-code region
+     */
+    static CompressedImage buildImage(const std::vector<uint32_t> &words,
+                                      uint32_t decomp_base);
+};
+
+} // namespace rtd::compress
+
+#endif // RTDC_COMPRESS_DICTIONARY_H

@@ -1,0 +1,298 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "compress/bitstream.h"
+#include "isa/isa.h"
+#include "program/program.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::compress {
+
+HuffmanCode
+HuffmanCode::build(const std::array<uint64_t, 256> &freq)
+{
+    // Classic two-queue Huffman over the used symbols, with iterative
+    // frequency damping to enforce the 15-bit length limit (adequate
+    // for byte alphabets; package-merge would be optimal but the
+    // difference is negligible here).
+    std::array<uint64_t, 256> f = freq;
+    HuffmanCode out;
+
+    for (int attempt = 0; attempt < 32; ++attempt) {
+        struct Node
+        {
+            uint64_t weight;
+            int left, right;  // -1 for leaves
+            int symbol;
+        };
+        std::vector<Node> nodes;
+        using Entry = std::pair<uint64_t, int>;  // (weight, node index)
+        std::priority_queue<Entry, std::vector<Entry>,
+                            std::greater<Entry>> heap;
+        for (int s = 0; s < 256; ++s) {
+            if (f[s] > 0) {
+                nodes.push_back(Node{f[s], -1, -1, s});
+                heap.push({f[s], static_cast<int>(nodes.size()) - 1});
+            }
+        }
+        out.length.fill(0);
+        if (nodes.empty())
+            return out;
+        if (nodes.size() == 1) {
+            out.length[static_cast<uint8_t>(nodes[0].symbol)] = 1;
+        } else {
+            while (heap.size() > 1) {
+                Entry a = heap.top();
+                heap.pop();
+                Entry b = heap.top();
+                heap.pop();
+                nodes.push_back(
+                    Node{a.first + b.first, a.second, b.second, -1});
+                heap.push({a.first + b.first,
+                           static_cast<int>(nodes.size()) - 1});
+            }
+            // Depth-first depth assignment.
+            std::vector<std::pair<int, int>> stack;  // (node, depth)
+            stack.push_back({heap.top().second, 0});
+            while (!stack.empty()) {
+                auto [idx, depth] = stack.back();
+                stack.pop_back();
+                const Node &node = nodes[static_cast<size_t>(idx)];
+                if (node.left < 0) {
+                    out.length[static_cast<uint8_t>(node.symbol)] =
+                        static_cast<uint8_t>(std::max(depth, 1));
+                } else {
+                    stack.push_back({node.left, depth + 1});
+                    stack.push_back({node.right, depth + 1});
+                }
+            }
+        }
+        unsigned longest = 0;
+        for (int s = 0; s < 256; ++s)
+            longest = std::max<unsigned>(longest, out.length[s]);
+        if (longest <= maxLen)
+            break;
+        // Damp the frequency skew and retry.
+        for (auto &w : f) {
+            if (w)
+                w = (w + 1) / 2;
+        }
+    }
+
+    // Canonicalize: assign consecutive codes by (length, symbol).
+    out.countOfLen.fill(0);
+    out.symbols.clear();
+    for (int s = 0; s < 256; ++s) {
+        if (out.length[s])
+            ++out.countOfLen[out.length[s]];
+    }
+    std::array<uint16_t, maxLen + 2> next_code{};
+    uint16_t code = 0;
+    for (unsigned len = 1; len <= maxLen; ++len) {
+        code = static_cast<uint16_t>((code + out.countOfLen[len - 1])
+                                     << 1);
+        next_code[len] = code;
+    }
+    for (int s = 0; s < 256; ++s) {
+        if (out.length[s])
+            out.code[s] = next_code[out.length[s]]++;
+    }
+    for (unsigned len = 1; len <= maxLen; ++len) {
+        for (int s = 0; s < 256; ++s) {
+            if (out.length[s] == len)
+                out.symbols.push_back(static_cast<uint8_t>(s));
+        }
+    }
+    return out;
+}
+
+double
+HuffmanCode::averageBits(const std::array<uint64_t, 256> &freq) const
+{
+    uint64_t total = 0;
+    uint64_t bits = 0;
+    for (int s = 0; s < 256; ++s) {
+        total += freq[s];
+        bits += freq[s] * length[s];
+    }
+    return total ? static_cast<double>(bits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+uint32_t
+HuffmanCompressed::lineOffset(size_t line) const
+{
+    size_t pair = line / 2;
+    RTDC_ASSERT(pair < lat.size(), "line %zu outside LAT", line);
+    uint32_t entry = lat[pair];
+    uint32_t offset = entry & 0x00ffffffu;
+    if (line & 1)
+        offset += entry >> 24;
+    return offset;
+}
+
+uint32_t
+HuffmanCompressed::compressedBytes() const
+{
+    // Decode tables: 16 count bytes + the symbol permutation.
+    return static_cast<uint32_t>(stream.size() + lat.size() * 4 + 16 +
+                                 code.symbols.size());
+}
+
+HuffmanCompressed
+HuffmanLine::compress(const std::vector<uint32_t> &words,
+                      uint32_t line_bytes)
+{
+    RTDC_ASSERT(isPowerOfTwo(line_bytes) && line_bytes >= 8,
+                "bad line size %u", line_bytes);
+    std::vector<uint32_t> padded = words;
+    while ((padded.size() * 4) % line_bytes != 0)
+        padded.push_back(isa::nopWord());
+
+    std::vector<uint8_t> bytes(padded.size() * 4);
+    for (size_t i = 0; i < padded.size(); ++i) {
+        bytes[i * 4] = static_cast<uint8_t>(padded[i]);
+        bytes[i * 4 + 1] = static_cast<uint8_t>(padded[i] >> 8);
+        bytes[i * 4 + 2] = static_cast<uint8_t>(padded[i] >> 16);
+        bytes[i * 4 + 3] = static_cast<uint8_t>(padded[i] >> 24);
+    }
+
+    std::array<uint64_t, 256> freq{};
+    for (uint8_t b : bytes)
+        ++freq[b];
+
+    HuffmanCompressed out;
+    out.code = HuffmanCode::build(freq);
+    out.lineBytes = line_bytes;
+    out.numLines = bytes.size() / line_bytes;
+
+    BitWriter bw;
+    uint32_t even_offset = 0;
+    for (size_t line = 0; line < out.numLines; ++line) {
+        auto offset = static_cast<uint32_t>(bw.sizeBytes());
+        if ((line & 1) == 0) {
+            RTDC_ASSERT(offset < (1u << 24), "stream exceeds 16 MB");
+            even_offset = offset;
+            out.lat.push_back(offset);
+        } else {
+            uint32_t delta = offset - even_offset;
+            RTDC_ASSERT(delta < 256, "line longer than 255 bytes");
+            out.lat.back() |= delta << 24;
+        }
+        for (uint32_t i = 0; i < line_bytes; ++i) {
+            uint8_t symbol = bytes[line * line_bytes + i];
+            RTDC_ASSERT(out.code.length[symbol] > 0,
+                        "symbol %u has no code", symbol);
+            bw.put(out.code.code[symbol], out.code.length[symbol]);
+        }
+        bw.alignByte();
+    }
+    out.stream = bw.take();
+    return out;
+}
+
+void
+HuffmanLine::decompressLine(const HuffmanCompressed &compressed,
+                            size_t line, uint8_t *out)
+{
+    size_t offset = compressed.lineOffset(line);
+    BitReader br(compressed.stream.data() + offset,
+                 compressed.stream.size() - offset);
+    for (uint32_t i = 0; i < compressed.lineBytes; ++i) {
+        // Canonical decode: extend the code bit by bit; at each length,
+        // codes for that length occupy [first, first+count).
+        uint16_t code = 0;
+        uint32_t first = 0;
+        uint32_t index = 0;
+        unsigned len = 0;
+        while (true) {
+            code = static_cast<uint16_t>(code << 1 | br.get(1));
+            ++len;
+            RTDC_ASSERT(len <= HuffmanCode::maxLen,
+                        "malformed huffman stream");
+            uint32_t count = compressed.code.countOfLen[len];
+            if (code < first + count) {
+                out[i] = compressed.code.symbols[index + code - first];
+                break;
+            }
+            index += count;
+            first = (first + count) << 1;
+        }
+    }
+}
+
+std::vector<uint32_t>
+HuffmanLine::decompress(const HuffmanCompressed &compressed)
+{
+    std::vector<uint8_t> bytes(compressed.numLines *
+                               compressed.lineBytes);
+    for (size_t line = 0; line < compressed.numLines; ++line) {
+        decompressLine(compressed, line,
+                       bytes.data() + line * compressed.lineBytes);
+    }
+    std::vector<uint32_t> words(bytes.size() / 4);
+    for (size_t i = 0; i < words.size(); ++i) {
+        words[i] = static_cast<uint32_t>(bytes[i * 4]) |
+                   static_cast<uint32_t>(bytes[i * 4 + 1]) << 8 |
+                   static_cast<uint32_t>(bytes[i * 4 + 2]) << 16 |
+                   static_cast<uint32_t>(bytes[i * 4 + 3]) << 24;
+    }
+    return words;
+}
+
+CompressedImage
+HuffmanLine::buildImage(const std::vector<uint32_t> &words,
+                        uint32_t decomp_base, uint32_t line_bytes)
+{
+    HuffmanCompressed hc = compress(words, line_bytes);
+
+    CompressedImage image;
+    image.scheme = Scheme::HuffmanLine;
+
+    uint32_t cursor = prog::layout::compressedBase;
+    auto add_segment = [&](const char *name, std::vector<uint8_t> bytes,
+                           uint32_t align) {
+        cursor = static_cast<uint32_t>(alignUp(cursor, align));
+        CompressedSegment seg;
+        seg.name = name;
+        seg.base = cursor;
+        seg.bytes = std::move(bytes);
+        cursor += static_cast<uint32_t>(seg.bytes.size());
+        image.segments.push_back(std::move(seg));
+        return image.segments.back().base;
+    };
+
+    std::vector<uint8_t> lat_bytes(hc.lat.size() * 4);
+    for (size_t i = 0; i < hc.lat.size(); ++i) {
+        uint32_t v = hc.lat[i];
+        lat_bytes[i * 4] = static_cast<uint8_t>(v);
+        lat_bytes[i * 4 + 1] = static_cast<uint8_t>(v >> 8);
+        lat_bytes[i * 4 + 2] = static_cast<uint8_t>(v >> 16);
+        lat_bytes[i * 4 + 3] = static_cast<uint8_t>(v >> 24);
+    }
+    // Decode tables: countOfLen[1..16] as bytes, then the canonical
+    // symbol permutation padded to 256 entries.
+    std::vector<uint8_t> tab_bytes;
+    for (unsigned len = 1; len <= HuffmanCode::maxLen + 1; ++len) {
+        tab_bytes.push_back(static_cast<uint8_t>(
+            len <= HuffmanCode::maxLen ? hc.code.countOfLen[len] : 0));
+    }
+    tab_bytes.insert(tab_bytes.end(), hc.code.symbols.begin(),
+                     hc.code.symbols.end());
+    tab_bytes.resize(16 + 256, 0);
+
+    uint32_t stream_base = add_segment(".huffstream", hc.stream, 8);
+    uint32_t lat_base = add_segment(".hufflat", std::move(lat_bytes), 4);
+    uint32_t tab_base = add_segment(".hufftab", std::move(tab_bytes), 4);
+
+    image.c0[isa::C0DecompBase] = decomp_base;
+    image.c0[isa::C0IndexBase] = stream_base;
+    image.c0[isa::C0MapBase] = lat_base;
+    image.c0[isa::C0DictBase] = tab_base;
+    return image;
+}
+
+} // namespace rtd::compress

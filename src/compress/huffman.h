@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Byte-granularity Huffman line compression, modeled on the Compressed
+ * Code RISC Processor ([Wolfe92], the first system in the paper's
+ * related work): instruction-cache lines are Huffman-coded
+ * independently and located through a line address table (CCRP's LAT).
+ *
+ * Wolfe & Chanin decompressed in hardware; here the same format is
+ * decoded by a *software* handler (src/runtime/huffman_handler.cc) —
+ * demonstrating the paper's core pitch that software decompression
+ * decouples the algorithm from the silicon. Canonical codes keep the
+ * decode tables tiny (a count per code length plus the symbol
+ * permutation), which is what makes a bit-serial software decoder
+ * practical.
+ */
+
+#ifndef RTDC_COMPRESS_HUFFMAN_H
+#define RTDC_COMPRESS_HUFFMAN_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compress/compressed_image.h"
+
+namespace rtd::compress {
+
+/** A canonical Huffman code over bytes, length-limited to 15 bits. */
+struct HuffmanCode
+{
+    static constexpr unsigned maxLen = 15;
+
+    std::array<uint8_t, 256> length{};   ///< code length per symbol (0 = unused)
+    std::array<uint16_t, 256> code{};    ///< canonical codeword per symbol
+    /** Number of codes of each length (index 1..maxLen). */
+    std::array<uint16_t, maxLen + 1> countOfLen{};
+    /** Symbols sorted by (length, value) — the canonical permutation. */
+    std::vector<uint8_t> symbols;
+
+    /**
+     * Build a length-limited canonical code from byte frequencies.
+     * Symbols with zero frequency get no code.
+     */
+    static HuffmanCode build(const std::array<uint64_t, 256> &freq);
+
+    /** Average code length weighted by @p freq, in bits. */
+    double averageBits(const std::array<uint64_t, 256> &freq) const;
+};
+
+/** A Huffman-line-compressed instruction stream. */
+struct HuffmanCompressed
+{
+    HuffmanCode code;
+    std::vector<uint8_t> stream;     ///< per-line codeword runs
+    /**
+     * Line address table, packed one 32-bit entry per *pair* of lines
+     * (bits [23:0] even-line byte offset, [31:24] odd-line delta), like
+     * the CodePack index table.
+     */
+    std::vector<uint32_t> lat;
+    uint32_t lineBytes = 32;
+    size_t numLines = 0;
+
+    uint32_t lineOffset(size_t line) const;
+
+    /** Payload bytes: stream + LAT + decode tables. */
+    uint32_t compressedBytes() const;
+};
+
+/** Huffman line compressor / reference decompressor. */
+class HuffmanLine
+{
+  public:
+    /** Compress @p words as independent lines of @p line_bytes. */
+    static HuffmanCompressed compress(const std::vector<uint32_t> &words,
+                                      uint32_t line_bytes = 32);
+
+    /** Decode one line into line_bytes bytes (reference decoder). */
+    static void decompressLine(const HuffmanCompressed &compressed,
+                               size_t line, uint8_t *out);
+
+    /** Round-trip the whole stream (reference decoder). */
+    static std::vector<uint32_t> decompress(
+        const HuffmanCompressed &compressed);
+
+    /**
+     * Build the memory image: .huffstream, .hufflat and .hufftab
+     * segments plus the c0 registers the Huffman handler reads.
+     * The decode-table segment layout is:
+     *   bytes [0..15]   countOfLen[1..16) as bytes
+     *   bytes [16..271] canonical symbol permutation (256 entries)
+     */
+    static CompressedImage buildImage(const std::vector<uint32_t> &words,
+                                      uint32_t decomp_base,
+                                      uint32_t line_bytes = 32);
+};
+
+} // namespace rtd::compress
+
+#endif // RTDC_COMPRESS_HUFFMAN_H

@@ -1,0 +1,132 @@
+#include "compress/lzrw1.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace rtd::compress {
+
+namespace {
+
+/** Williams' 3-byte hash. */
+inline uint32_t
+hash3(const uint8_t *p)
+{
+    return ((40543u * ((static_cast<uint32_t>(p[0]) << 8 ^
+                        static_cast<uint32_t>(p[1]) << 4) ^ p[2])) >> 4) &
+           0xfffu;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+Lzrw1::compress(const std::vector<uint8_t> &src)
+{
+    std::vector<uint8_t> out;
+    out.reserve(src.size());
+
+    // Hash table of most recent position of each 3-byte prefix hash.
+    std::vector<int64_t> table(1u << hashBits, -1);
+
+    size_t pos = 0;
+    const size_t n = src.size();
+    size_t control_pos = 0;  // byte offset of the pending control word
+    unsigned control_bits = 0;
+    uint16_t control = 0;
+
+    auto open_group = [&]() {
+        control_pos = out.size();
+        out.push_back(0);
+        out.push_back(0);
+        control = 0;
+        control_bits = 0;
+    };
+    auto close_group = [&]() {
+        out[control_pos] = static_cast<uint8_t>(control);
+        out[control_pos + 1] = static_cast<uint8_t>(control >> 8);
+    };
+
+    open_group();
+    while (pos < n) {
+        if (control_bits == 16) {
+            close_group();
+            open_group();
+        }
+
+        bool copied = false;
+        if (pos + minMatch <= n && pos + 2 < n) {
+            uint32_t h = hash3(src.data() + pos);
+            int64_t cand = table[h];
+            table[h] = static_cast<int64_t>(pos);
+            if (cand >= 0) {
+                size_t offset = pos - static_cast<size_t>(cand);
+                if (offset >= 1 && offset <= maxOffset) {
+                    size_t limit = std::min<size_t>(maxMatch, n - pos);
+                    size_t len = 0;
+                    const uint8_t *a = src.data() + cand;
+                    const uint8_t *b = src.data() + pos;
+                    while (len < limit && a[len] == b[len])
+                        ++len;
+                    if (len >= minMatch) {
+                        out.push_back(static_cast<uint8_t>(
+                            ((len - minMatch) << 4) | (offset >> 8)));
+                        out.push_back(static_cast<uint8_t>(offset));
+                        control = static_cast<uint16_t>(
+                            control | (1u << control_bits));
+                        pos += len;
+                        copied = true;
+                    }
+                }
+            }
+        }
+        if (!copied) {
+            out.push_back(src[pos]);
+            ++pos;
+        }
+        ++control_bits;
+    }
+    close_group();
+    return out;
+}
+
+std::vector<uint8_t>
+Lzrw1::decompress(const std::vector<uint8_t> &src, size_t original_size)
+{
+    std::vector<uint8_t> out;
+    out.reserve(original_size);
+    size_t pos = 0;
+    while (out.size() < original_size) {
+        RTDC_ASSERT(pos + 2 <= src.size(), "lzrw1: truncated control word");
+        uint16_t control = static_cast<uint16_t>(src[pos]) |
+                           static_cast<uint16_t>(src[pos + 1]) << 8;
+        pos += 2;
+        for (unsigned bit = 0;
+             bit < 16 && out.size() < original_size; ++bit) {
+            if (control & (1u << bit)) {
+                RTDC_ASSERT(pos + 2 <= src.size(),
+                            "lzrw1: truncated copy item");
+                unsigned len = (src[pos] >> 4) + minMatch;
+                unsigned offset =
+                    (static_cast<unsigned>(src[pos] & 0x0f) << 8) |
+                    src[pos + 1];
+                pos += 2;
+                RTDC_ASSERT(offset >= 1 && offset <= out.size(),
+                            "lzrw1: bad copy offset %u at output %zu",
+                            offset, out.size());
+                for (unsigned i = 0; i < len; ++i)
+                    out.push_back(out[out.size() - offset]);
+            } else {
+                RTDC_ASSERT(pos < src.size(), "lzrw1: truncated literal");
+                out.push_back(src[pos]);
+                ++pos;
+            }
+        }
+    }
+    RTDC_ASSERT(out.size() == original_size,
+                "lzrw1: output overrun (%zu != %zu)", out.size(),
+                original_size);
+    return out;
+}
+
+} // namespace rtd::compress

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * LZRW1 compression ([Williams91]).
+ *
+ * Used exactly as in the paper: compressing the whole .text section as
+ * one unit to obtain a lower bound for procedure-based LZRW1 compression
+ * (the Kirovski et al. comparison column of Table 2). It is not used on
+ * the simulated decompression path.
+ *
+ * Format (Williams' fast LZ77 variant): items are grouped 16 to a
+ * control word; a control bit of 0 marks a literal byte, 1 marks a copy
+ * item of two bytes holding a 12-bit offset (1..4095) and a 4-bit
+ * length-3 field (lengths 3..18). Matches are found with a 4096-entry
+ * hash table over 3-byte prefixes.
+ */
+
+#ifndef RTDC_COMPRESS_LZRW1_H
+#define RTDC_COMPRESS_LZRW1_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtd::compress {
+
+/** LZRW1 compressor / decompressor. */
+class Lzrw1
+{
+  public:
+    /** Compress @p src; the output does not record the original size. */
+    static std::vector<uint8_t> compress(const std::vector<uint8_t> &src);
+
+    /**
+     * Decompress @p src into exactly @p original_size bytes.
+     * Panics on a malformed stream.
+     */
+    static std::vector<uint8_t> decompress(const std::vector<uint8_t> &src,
+                                           size_t original_size);
+
+  private:
+    static constexpr unsigned hashBits = 12;
+    static constexpr unsigned maxOffset = 4095;
+    static constexpr unsigned minMatch = 3;
+    static constexpr unsigned maxMatch = 18;
+};
+
+} // namespace rtd::compress
+
+#endif // RTDC_COMPRESS_LZRW1_H

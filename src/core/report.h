@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Human-readable reporting of simulation results: the full counter set
+ * and the derived metrics the paper's tables use, formatted uniformly
+ * for the CLI driver, examples, and debugging.
+ */
+
+#ifndef RTDC_CORE_REPORT_H
+#define RTDC_CORE_REPORT_H
+
+#include <string>
+
+#include "core/system.h"
+
+namespace rtd::core {
+
+/** Render a full multi-line report of one run. */
+std::string formatReport(const SystemResult &result);
+
+/**
+ * Render a one-line summary: cycles, CPI, miss ratio, ratio/slowdown.
+ * @param native optional native-run baseline for the slowdown column
+ */
+std::string formatSummary(const SystemResult &result,
+                          const SystemResult *native = nullptr);
+
+} // namespace rtd::core
+
+#endif // RTDC_CORE_REPORT_H

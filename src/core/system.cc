@@ -1,0 +1,141 @@
+#include "core/system.h"
+
+#include "compress/codepack.h"
+#include "compress/huffman.h"
+#include "compress/dictionary.h"
+#include "runtime/handlers.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::core {
+
+double
+SystemResult::compressionRatio() const
+{
+    if (originalTextBytes == 0)
+        return 0.0;
+    uint64_t compressed = compressedPayloadBytes + nativeRegionBytes;
+    return static_cast<double>(compressed) /
+           static_cast<double>(originalTextBytes);
+}
+
+System::System(const prog::Program &program, const SystemConfig &config)
+    : config_(config)
+{
+    // Region assignment: default everything-native for plain programs,
+    // everything-compressed when a scheme is selected.
+    std::vector<prog::Region> regions = config.regions;
+    if (regions.empty()) {
+        regions.assign(program.procs.size(),
+                       config.scheme == compress::Scheme::None
+                           ? prog::Region::Native
+                           : prog::Region::Compressed);
+    }
+    image_ = prog::link(program, regions, config.order);
+
+    memory_ = mem::MainMemory(config.cpu.memTiming);
+
+    // Native-region text and data live in main memory.
+    if (!image_.nativeText.empty()) {
+        for (size_t i = 0; i < image_.nativeText.size(); ++i) {
+            memory_.write32(image_.nativeBase +
+                                static_cast<uint32_t>(i) * 4,
+                            image_.nativeText[i]);
+        }
+    }
+    if (!image_.data.empty()) {
+        memory_.writeBlock(image_.dataBase, image_.data.data(),
+                           image_.data.size());
+    }
+
+    cpu_ = std::make_unique<cpu::Cpu>(config.cpu, memory_, image_);
+
+    if (config.scheme == compress::Scheme::ProcLzrw1) {
+        // Procedure-based baseline: whole program compressed
+        // per-procedure; no selective hybrid form.
+        RTDC_ASSERT(image_.nativeText.empty(),
+                    "ProcLzrw1 does not support selective compression");
+        pimage_ = proccache::compressProcedures(image_);
+        for (const compress::CompressedSegment &seg :
+             pimage_.memory.segments) {
+            memory_.writeBlock(seg.base, seg.bytes.data(),
+                               seg.bytes.size());
+        }
+        procHandler_ = proccache::buildLzrw1Handler();
+        cpu_->attachProcDecompressor(pimage_, procHandler_,
+                                     config.procCache);
+    } else if (config.scheme != compress::Scheme::None &&
+               !image_.decompText.empty()) {
+        // Pad the compressed-region stream to a whole number of CodePack
+        // groups (64 B; also a whole number of I-cache lines), since the
+        // decompressor always reconstructs full lines/groups.
+        std::vector<uint32_t> words = image_.decompText;
+        uint32_t pad_words = static_cast<uint32_t>(
+            alignUp(words.size() * 4, 64) / 4 - words.size());
+        for (uint32_t i = 0; i < pad_words; ++i)
+            words.push_back(isa::nopWord());
+        paddedRegionBytes_ = static_cast<uint32_t>(words.size()) * 4;
+
+        switch (config.scheme) {
+          case compress::Scheme::Dictionary:
+            cimage_ = compress::DictionaryCompressor::buildImage(
+                words, image_.decompBase);
+            break;
+          case compress::Scheme::CodePack:
+            cimage_ = compress::CodePack::buildImage(words,
+                                                     image_.decompBase);
+            break;
+          case compress::Scheme::HuffmanLine:
+            cimage_ = compress::HuffmanLine::buildImage(
+                words, image_.decompBase, config.cpu.icache.lineBytes);
+            break;
+          case compress::Scheme::None:
+          case compress::Scheme::ProcLzrw1:
+            break;  // handled above
+        }
+        for (const compress::CompressedSegment &seg : cimage_.segments) {
+            memory_.writeBlock(seg.base, seg.bytes.data(),
+                               seg.bytes.size());
+        }
+
+        runtime::HandlerBuild handler = runtime::buildHandler(
+            config.scheme, config.secondRegFile,
+            config.cpu.icache.lineBytes);
+        cpu_->attachDecompressor(cimage_, handler, paddedRegionBytes_);
+    } else if (config.scheme != compress::Scheme::None) {
+        // A "compressed" configuration whose selection left everything
+        // native degenerates to a plain native program.
+        cimage_ = compress::CompressedImage{};
+    }
+
+    if (config.profiling)
+        cpu_->enableProfiling();
+}
+
+System::~System() = default;
+
+SystemResult
+System::run()
+{
+    SystemResult result;
+    result.stats = cpu_->run();
+    if (result.stats.timedOut) {
+        warn("%s: run stopped by maxUserInsns after %llu instructions",
+             image_.name.c_str(),
+             static_cast<unsigned long long>(result.stats.userInsns));
+    }
+    result.originalTextBytes = image_.textBytes();
+    result.compressedPayloadBytes =
+        config_.scheme == compress::Scheme::ProcLzrw1
+            ? pimage_.compressedBytes()
+            : cimage_.compressedBytes();
+    result.nativeRegionBytes = image_.nativeTextBytes();
+    if (config_.profiling) {
+        result.profile = profile::remapProfile(
+            image_, cpu_->procExecInsns(), cpu_->procMisses(),
+            cpu_->procTransitions());
+    }
+    return result;
+}
+
+} // namespace rtd::core

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The top-level System: wires a linked program, main memory, the
+ * compression scheme, the exception handler, and the CPU into one
+ * runnable simulation — the public entry point of the library.
+ *
+ * Typical use:
+ * @code
+ *   rtd::workload::WorkloadGenerator gen(spec);
+ *   rtd::prog::Program program = gen.generate();
+ *
+ *   rtd::core::SystemConfig config;
+ *   config.scheme = rtd::compress::Scheme::Dictionary;
+ *   config.secondRegFile = true;
+ *   rtd::core::System system(program, config);
+ *   rtd::core::SystemResult result = system.run();
+ * @endcode
+ */
+
+#ifndef RTDC_CORE_SYSTEM_H
+#define RTDC_CORE_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "compress/compressed_image.h"
+#include "cpu/cpu.h"
+#include "mem/main_memory.h"
+#include "proccache/proc_image.h"
+#include "profile/profile.h"
+#include "program/linker.h"
+#include "program/program.h"
+
+namespace rtd::core {
+
+/** Full configuration of one simulated machine + program binding. */
+struct SystemConfig
+{
+    cpu::CpuConfig cpu;  ///< machine parameters (defaults = Table 1)
+    compress::Scheme scheme = compress::Scheme::None;
+    bool secondRegFile = false;  ///< handler uses the shadow register file
+    /**
+     * Per-procedure region assignment for selective compression. Empty
+     * means: everything native when scheme == None, everything
+     * compressed otherwise.
+     */
+    std::vector<prog::Region> regions;
+    /**
+     * Optional procedure emission order (profile-guided placement); a
+     * permutation of procedure indices. Empty keeps program order.
+     */
+    std::vector<int32_t> order;
+    bool profiling = false;  ///< collect per-procedure exec/miss counts
+    /** Procedure-cache parameters (Scheme::ProcLzrw1 only). */
+    proccache::ProcCacheConfig procCache;
+};
+
+/** Everything a System run produces. */
+struct SystemResult
+{
+    cpu::RunStats stats;
+
+    uint32_t originalTextBytes = 0;    ///< total text of the program
+    uint32_t compressedPayloadBytes = 0;  ///< segments in memory
+    uint32_t nativeRegionBytes = 0;    ///< text left native
+
+    /** Per-procedure profile (Program order); filled when profiling. */
+    profile::ProcedureProfile profile;
+
+    /**
+     * The paper's compression ratio (Eq. 1): compressed size / original
+     * size. For hybrids the numerator includes the native-region text.
+     */
+    double compressionRatio() const;
+};
+
+/** One runnable simulation instance. */
+class System
+{
+  public:
+    /**
+     * Build the system: links the program, loads memory, compresses the
+     * compressed region, assembles and loads the matching handler.
+     */
+    System(const prog::Program &program, const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run to completion and collect results. */
+    SystemResult run();
+
+    /// @name Introspection (valid after construction)
+    /// @{
+    const prog::LoadedImage &image() const { return image_; }
+    const compress::CompressedImage &compressedImage() const
+    {
+        return cimage_;
+    }
+    const cpu::Cpu &cpu() const { return *cpu_; }
+    const mem::MainMemory &memory() const { return memory_; }
+    /// @}
+
+  private:
+    SystemConfig config_;
+    prog::LoadedImage image_;
+    mem::MainMemory memory_;
+    compress::CompressedImage cimage_;
+    proccache::ProcCompressedImage pimage_;
+    runtime::HandlerBuild procHandler_;
+    std::unique_ptr<cpu::Cpu> cpu_;
+    uint32_t paddedRegionBytes_ = 0;
+};
+
+} // namespace rtd::core
+
+#endif // RTDC_CORE_SYSTEM_H

@@ -1,0 +1,652 @@
+#include "cpu/cpu.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace rtd::cpu {
+
+using isa::Instruction;
+using isa::Op;
+
+double
+RunStats::icacheMissRatio() const
+{
+    return ratio(icacheMisses, icacheAccesses);
+}
+
+double
+RunStats::dcacheMissRatio() const
+{
+    return ratio(dcacheMisses, dcacheAccesses);
+}
+
+double
+RunStats::cpi() const
+{
+    return ratio(cycles, userInsns);
+}
+
+Cpu::Cpu(const CpuConfig &config, mem::MainMemory &memory,
+         const prog::LoadedImage &image)
+    : config_(config), memory_(memory), image_(image),
+      icache_("icache", config.icache), dcache_("dcache", config.dcache),
+      predictor_(config.predictorEntries, config.predictorKind)
+{
+    pc_ = image.entry;
+    regs_[isa::Sp] = image.stackTop;
+    // A return from the entry procedure without halt lands on an invalid
+    // address and is caught by the fetch path.
+    regs_[isa::Ra] = 0;
+    lineBuf_.resize(std::max(config.icache.lineBytes,
+                             config.dcache.lineBytes));
+    wbBuf_.resize(lineBuf_.size());
+}
+
+void
+Cpu::attachDecompressor(const compress::CompressedImage &cimage,
+                        const runtime::HandlerBuild &handler,
+                        uint32_t region_bytes)
+{
+    RTDC_ASSERT(!image_.decompText.empty(),
+                "attachDecompressor on an image with no compressed region");
+    handlerRam_.load(handler.code);
+    config_.secondRegFile = handler.usesShadowRegs;
+    for (size_t i = 0; i < cimage.c0.size(); ++i)
+        c0_[i] = cimage.c0[i];
+    compressedLo_ = image_.decompBase;
+    compressedHi_ = image_.decompBase + region_bytes;
+    decompressorAttached_ = true;
+}
+
+void
+Cpu::attachProcDecompressor(const proccache::ProcCompressedImage &pimage,
+                            const runtime::HandlerBuild &handler,
+                            const proccache::ProcCacheConfig &config)
+{
+    RTDC_ASSERT(!decompressorAttached_,
+                "line and procedure decompression are mutually "
+                "exclusive");
+    RTDC_ASSERT(pimage.entries.size() == image_.procs.size(),
+                "procedure image does not match the linked program");
+    handlerRam_.load(handler.code);
+    config_.secondRegFile = handler.usesShadowRegs;
+    procImage_ = &pimage;
+    procConfig_ = config;
+    procMgr_ = std::make_unique<proccache::ProcCacheManager>(
+        config.capacityBytes, image_.procs.size());
+}
+
+void
+Cpu::enableProfiling()
+{
+    profiling_ = true;
+    procExecInsns_.assign(image_.procs.size(), 0);
+    procMisses_.assign(image_.procs.size(), 0);
+}
+
+void
+Cpu::noteUserPc(uint32_t pc)
+{
+    if (pc >= curProcLo_ && pc < curProcHi_) {
+        if (curProc_ >= 0)
+            ++procExecInsns_[curProc_];
+        return;
+    }
+    int32_t prev = curProc_;
+    curProc_ = image_.procAt(pc);
+    if (curProc_ >= 0) {
+        const prog::LinkedProc &lp = image_.procs[curProc_];
+        curProcLo_ = lp.base;
+        curProcHi_ = lp.base + lp.size;
+        ++procExecInsns_[curProc_];
+        if (prev >= 0) {
+            // Inter-procedure transfer (call, return, or fallthrough):
+            // the affinity signal code placement optimizes.
+            ++procTransitions_[
+                static_cast<uint64_t>(static_cast<uint32_t>(prev)) << 32 |
+                static_cast<uint32_t>(curProc_)];
+        }
+    } else {
+        curProcLo_ = 1;
+        curProcHi_ = 0;
+    }
+}
+
+RunStats
+Cpu::run()
+{
+    stats_ = RunStats{};
+    while (true) {
+        step();
+        if (stats_.halted)
+            break;
+        if (config_.maxUserInsns &&
+            stats_.userInsns >= config_.maxUserInsns) {
+            stats_.timedOut = true;
+            break;
+        }
+    }
+    // Fold component statistics in.
+    stats_.branchLookups = predictor_.lookups();
+    stats_.branchMispredicts = predictor_.mispredicts();
+    if (procMgr_) {
+        stats_.procFaults = procMgr_->faults();
+        stats_.procEvictions = procMgr_->evictions();
+        stats_.procCompactedBytes = procMgr_->bytesCompacted();
+    }
+    return stats_;
+}
+
+void
+Cpu::ensureProcResident(uint32_t pc)
+{
+    if (pc >= procCurLo_ && pc < procCurHi_)
+        return;
+    int32_t proc = image_.procAt(pc);
+    RTDC_ASSERT(proc >= 0, "fetch outside any procedure: 0x%08x", pc);
+    if (!procMgr_->resident(proc))
+        procFault(pc, proc);
+    else
+        procMgr_->touch(proc);
+    procCurLo_ = image_.procs[proc].base;
+    procCurHi_ = procCurLo_ + image_.procs[proc].size;
+}
+
+void
+Cpu::procFault(uint32_t addr, int32_t proc)
+{
+    const proccache::ProcEntry &entry =
+        procImage_->entries[static_cast<size_t>(proc)];
+    ++stats_.exceptions;
+    stats_.cycles +=
+        config_.exceptionEntryPenalty + procConfig_.dispatchCycles;
+
+    // Allocate procedure-cache space: LRU eviction + compaction.
+    proccache::AllocResult alloc =
+        procMgr_->allocate(proc, entry.origBytes);
+    for (int32_t victim : alloc.evicted) {
+        const proccache::ProcEntry &ve =
+            procImage_->entries[static_cast<size_t>(victim)];
+        // The decompressed copy is gone: clear its backing bytes (so a
+        // stale fetch fails loudly) and invalidate its I-cache lines.
+        static const std::vector<uint8_t> zeros(4096, 0);
+        for (uint32_t off = 0; off < ve.origBytes;) {
+            uint32_t chunk = std::min<uint32_t>(
+                static_cast<uint32_t>(zeros.size()), ve.origBytes - off);
+            memory_.writeBlock(ve.vaBase + off, zeros.data(), chunk);
+            off += chunk;
+        }
+        icache_.invalidateRange(ve.vaBase, ve.origBytes);
+    }
+    // Compaction copies resident procedures inside the cache: charge
+    // read+write bursts per 64-byte chunk moved.
+    if (alloc.bytesCompacted) {
+        uint64_t chunks = (alloc.bytesCompacted + 63) / 64;
+        stats_.cycles += chunks * 2 * memory_.timing().burstCycles(64);
+    }
+
+    // Run the LZRW1 runtime over the whole procedure.
+    c0_[isa::C0Scratch0] = entry.streamAddr;
+    c0_[isa::C0Scratch1] = entry.vaBase;
+    c0_[isa::C0MapBase] = entry.origBytes;
+    runHandler(addr);
+    stats_.procDecompressedBytes += entry.origBytes;
+
+    // Coherence flush: the handler wrote code through the D-cache; the
+    // I-side fetches from memory, so write the dirty lines back...
+    dcache_.flushRange(
+        entry.vaBase, entry.origBytes,
+        [this](uint32_t line_addr, const uint8_t *data) {
+            memory_.writeBlock(line_addr, data, config_.dcache.lineBytes);
+            stats_.cycles +=
+                memory_.timing().burstCycles(config_.dcache.lineBytes);
+            ++stats_.writebacks;
+        });
+    // ...and invalidate I-cache lines over the written range: a line
+    // straddling a procedure boundary may be validly cached for the
+    // neighbouring procedure but stale for this one.
+    icache_.invalidateRange(entry.vaBase, entry.origBytes);
+    stats_.cycles += config_.exceptionReturnPenalty;
+
+    // Verify the decompressed procedure against the linked image.
+    for (uint32_t off = 0; off < entry.origBytes; off += 4) {
+        uint32_t got = memory_.read32(entry.vaBase + off);
+        uint32_t expect = image_.textWordAt(entry.vaBase + off);
+        if (got != expect) {
+            panic("lzrw1 runtime produced wrong word at 0x%08x: "
+                  "0x%08x != 0x%08x", entry.vaBase + off, got, expect);
+        }
+    }
+}
+
+uint32_t
+Cpu::fetchUser()
+{
+    if (procMgr_)
+        ensureProcResident(pc_);
+    ++stats_.icacheAccesses;
+    if (!icache_.access(pc_)) {
+        ++stats_.icacheMisses;
+        if (profiling_ && curProc_ >= 0)
+            ++procMisses_[curProc_];
+        if (decompressorAttached_ && pc_ >= compressedLo_ &&
+            pc_ < compressedHi_) {
+            // Software-managed miss: flush the pipeline (swic requires a
+            // non-speculative state) and run the decompressor.
+            ++stats_.compressedMisses;
+            ++stats_.exceptions;
+            stats_.cycles += config_.exceptionEntryPenalty;
+            runHandler(pc_);
+            stats_.cycles += config_.exceptionReturnPenalty;
+            RTDC_ASSERT(icache_.probe(pc_),
+                        "decompressor did not fill the missed line "
+                        "0x%08x", pc_);
+        } else {
+            // Hardware fill from main memory.
+            ++stats_.nativeMisses;
+            uint32_t line = icache_.lineAddr(pc_);
+            stats_.cycles +=
+                memory_.timing().burstCycles(config_.icache.lineBytes);
+            memory_.readBlock(line, lineBuf_.data(),
+                              config_.icache.lineBytes);
+            icache_.fillLine(line, lineBuf_.data());
+        }
+    }
+    return icache_.read32(pc_);
+}
+
+void
+Cpu::step()
+{
+    // Track the current procedure before the fetch so an I-miss is
+    // attributed to the procedure being entered, not the one left.
+    if (profiling_)
+        noteUserPc(pc_);
+    uint32_t word = fetchUser();
+    Instruction inst = isa::decode(word);
+    if (!inst.valid()) {
+        fatal("invalid instruction 0x%08x at pc 0x%08x", word, pc_);
+    }
+
+    // Load-use interlock.
+    uint8_t srcs[2];
+    unsigned nsrc = isa::srcRegs(inst, srcs);
+    if (lastLoadDest_ != 0) {
+        for (unsigned i = 0; i < nsrc; ++i) {
+            if (srcs[i] == lastLoadDest_) {
+                ++stats_.cycles;
+                ++stats_.loadUseStalls;
+                break;
+            }
+        }
+    }
+    lastLoadDest_ = isa::isLoad(inst.op) ? isa::destReg(inst) : 0;
+
+    ++stats_.cycles;
+    ++stats_.userInsns;
+    if (config_.traceInsns &&
+        stats_.userInsns + stats_.handlerInsns <= config_.traceInsns) {
+        std::fprintf(stderr, "U %08x: %s\n", pc_,
+                     isa::disassemble(inst, pc_).c_str());
+    }
+
+    pc_ = execute(inst, pc_, regs_.data(), false);
+}
+
+void
+Cpu::runHandler(uint32_t addr)
+{
+    RTDC_ASSERT(handlerRam_.loaded(), "miss exception with no handler");
+    c0_[isa::C0BadVa] = addr;
+    c0_[isa::C0Epc] = addr;
+
+    uint32_t *regs =
+        config_.secondRegFile ? shadowRegs_.data() : regs_.data();
+    // The shadow file shares sp with the user file so that a non-RF
+    // handler can spill to the user stack; the RF handlers never use sp.
+    uint32_t hpc = handlerRam_.entry();
+    // Interlock state does not carry across the pipeline flush.
+    lastLoadDest_ = 0;
+    while (true) {
+        uint32_t word = handlerRam_.fetch(hpc);
+        Instruction inst = isa::decode(word);
+        RTDC_ASSERT(inst.valid(), "invalid handler instruction at 0x%08x",
+                    hpc);
+
+        uint8_t srcs[2];
+        unsigned nsrc = isa::srcRegs(inst, srcs);
+        if (lastLoadDest_ != 0) {
+            for (unsigned i = 0; i < nsrc; ++i) {
+                if (srcs[i] == lastLoadDest_) {
+                    ++stats_.cycles;
+                    ++stats_.loadUseStalls;
+                    break;
+                }
+            }
+        }
+        lastLoadDest_ = isa::isLoad(inst.op) ? isa::destReg(inst) : 0;
+
+        ++stats_.cycles;
+        ++stats_.handlerInsns;
+        if (config_.traceInsns &&
+            stats_.userInsns + stats_.handlerInsns <=
+                config_.traceInsns) {
+            std::fprintf(stderr, "H %08x: %s\n", hpc,
+                         isa::disassemble(inst, hpc).c_str());
+        }
+
+        if (inst.op == Op::Iret)
+            break;
+        hpc = execute(inst, hpc, regs, true);
+    }
+    lastLoadDest_ = 0;
+    // Resume at the missed instruction (c0[Epc]).
+    pc_ = c0_[isa::C0Epc];
+}
+
+void
+Cpu::accountControl(const Instruction &inst, uint32_t pc, bool taken)
+{
+    if (isa::isCondBranch(inst.op)) {
+        bool correct = predictor_.update(pc, taken);
+        if (!correct)
+            stats_.cycles += config_.mispredictPenalty;
+        else if (taken)
+            stats_.cycles += config_.redirectPenalty;
+    } else {
+        // Unconditional transfers redirect fetch at decode.
+        stats_.cycles += config_.redirectPenalty;
+    }
+}
+
+void
+Cpu::dataAccess(uint32_t addr, bool is_store, bool handler)
+{
+    if (handler && config_.handlerDataUncached) {
+        // Ablation: decompressor tables bypass the D-cache; every access
+        // pays one bus transaction.
+        stats_.cycles += memory_.timing().burstCycles(
+            memory_.timing().busBytes);
+        return;
+    }
+    (void)is_store;
+    ++stats_.dcacheAccesses;
+    if (dcache_.access(addr))
+        return;
+    ++stats_.dcacheMisses;
+    uint32_t line = dcache_.lineAddr(addr);
+    stats_.cycles +=
+        memory_.timing().burstCycles(config_.dcache.lineBytes);
+    memory_.readBlock(line, lineBuf_.data(), config_.dcache.lineBytes);
+    cache::Eviction ev =
+        dcache_.fillLine(line, lineBuf_.data(), wbBuf_.data());
+    if (ev.valid && ev.dirty) {
+        ++stats_.writebacks;
+        stats_.cycles +=
+            memory_.timing().burstCycles(config_.dcache.lineBytes);
+        memory_.writeBlock(ev.addr, wbBuf_.data(),
+                           config_.dcache.lineBytes);
+    }
+}
+
+uint32_t
+Cpu::loadData(uint32_t addr, unsigned bytes, bool sign_extend, bool handler)
+{
+    dataAccess(addr, false, handler);
+    bool cached = !(handler && config_.handlerDataUncached);
+    uint32_t raw;
+    if (cached) {
+        switch (bytes) {
+          case 1: raw = dcache_.read8(addr); break;
+          case 2: raw = dcache_.read16(addr); break;
+          default: raw = dcache_.read32(addr); break;
+        }
+    } else {
+        switch (bytes) {
+          case 1: raw = memory_.read8(addr); break;
+          case 2: raw = memory_.read16(addr); break;
+          default: raw = memory_.read32(addr); break;
+        }
+    }
+    if (sign_extend && bytes < 4)
+        return static_cast<uint32_t>(signExtend(raw, bytes * 8));
+    return raw;
+}
+
+void
+Cpu::storeData(uint32_t addr, uint32_t value, unsigned bytes, bool handler)
+{
+    dataAccess(addr, true, handler);
+    bool cached = !(handler && config_.handlerDataUncached);
+    if (cached) {
+        switch (bytes) {
+          case 1:
+            dcache_.write8(addr, static_cast<uint8_t>(value));
+            break;
+          case 2:
+            dcache_.write16(addr, static_cast<uint16_t>(value));
+            break;
+          default:
+            dcache_.write32(addr, value);
+            break;
+        }
+    } else {
+        switch (bytes) {
+          case 1: memory_.write8(addr, static_cast<uint8_t>(value)); break;
+          case 2:
+            memory_.write16(addr, static_cast<uint16_t>(value));
+            break;
+          default: memory_.write32(addr, value); break;
+        }
+    }
+}
+
+void
+Cpu::verifySwic(uint32_t addr, uint32_t word) const
+{
+    if (image_.decompText.empty())
+        return;
+    uint32_t base = image_.decompBase;
+    if (addr < base || addr >= compressedHi_)
+        panic("swic outside the compressed region: 0x%08x", addr);
+    size_t idx = (addr - base) / 4;
+    uint32_t expect = idx < image_.decompText.size()
+                          ? image_.decompText[idx]
+                          : isa::nopWord();  // group padding
+    if (word != expect) {
+        panic("decompressor produced wrong word at 0x%08x: got 0x%08x "
+              "(%s), expected 0x%08x (%s)", addr, word,
+              isa::disassembleWord(word).c_str(), expect,
+              isa::disassembleWord(expect).c_str());
+    }
+}
+
+uint32_t
+Cpu::execute(const Instruction &inst, uint32_t pc, uint32_t *regs,
+             bool handler)
+{
+    auto rs = [&] { return readReg(regs, inst.rs); };
+    auto rt = [&] { return readReg(regs, inst.rt); };
+    auto wr_rd = [&](uint32_t v) { writeReg(regs, inst.rd, v); };
+    auto wr_rt = [&](uint32_t v) { writeReg(regs, inst.rt, v); };
+    int32_t simm = static_cast<int16_t>(inst.imm);
+    uint32_t uimm = inst.imm;
+    uint32_t next = pc + 4;
+
+    auto branch = [&](bool taken) {
+        accountControl(inst, pc, taken);
+        if (taken)
+            next = pc + 4 + (static_cast<uint32_t>(simm) << 2);
+    };
+
+    switch (inst.op) {
+      case Op::Sll: wr_rd(rt() << inst.shamt); break;
+      case Op::Srl: wr_rd(rt() >> inst.shamt); break;
+      case Op::Sra:
+        wr_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >>
+                                    inst.shamt));
+        break;
+      case Op::Sllv: wr_rd(rt() << (rs() & 31)); break;
+      case Op::Srlv: wr_rd(rt() >> (rs() & 31)); break;
+      case Op::Srav:
+        wr_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >>
+                                    (rs() & 31)));
+        break;
+      case Op::Add: case Op::Addu: wr_rd(rs() + rt()); break;
+      case Op::Sub: case Op::Subu: wr_rd(rs() - rt()); break;
+      case Op::And: wr_rd(rs() & rt()); break;
+      case Op::Or: wr_rd(rs() | rt()); break;
+      case Op::Xor: wr_rd(rs() ^ rt()); break;
+      case Op::Nor: wr_rd(~(rs() | rt())); break;
+      case Op::Slt:
+        wr_rd(static_cast<int32_t>(rs()) < static_cast<int32_t>(rt()));
+        break;
+      case Op::Sltu: wr_rd(rs() < rt()); break;
+      case Op::Mult: {
+        int64_t prod = static_cast<int64_t>(static_cast<int32_t>(rs())) *
+                       static_cast<int32_t>(rt());
+        lo_ = static_cast<uint32_t>(prod);
+        hi_ = static_cast<uint32_t>(prod >> 32);
+        break;
+      }
+      case Op::Multu: {
+        uint64_t prod = static_cast<uint64_t>(rs()) * rt();
+        lo_ = static_cast<uint32_t>(prod);
+        hi_ = static_cast<uint32_t>(prod >> 32);
+        break;
+      }
+      case Op::Div: {
+        int32_t a = static_cast<int32_t>(rs());
+        int32_t b = static_cast<int32_t>(rt());
+        if (b != 0 && !(a == INT32_MIN && b == -1)) {
+            lo_ = static_cast<uint32_t>(a / b);
+            hi_ = static_cast<uint32_t>(a % b);
+        }
+        break;
+      }
+      case Op::Divu:
+        if (rt() != 0) {
+            lo_ = rs() / rt();
+            hi_ = rs() % rt();
+        }
+        break;
+      case Op::Mfhi: wr_rd(hi_); break;
+      case Op::Mflo: wr_rd(lo_); break;
+      case Op::Mthi: hi_ = rs(); break;
+      case Op::Mtlo: lo_ = rs(); break;
+
+      case Op::Addi: case Op::Addiu:
+        wr_rt(rs() + static_cast<uint32_t>(simm));
+        break;
+      case Op::Slti:
+        wr_rt(static_cast<int32_t>(rs()) < simm);
+        break;
+      case Op::Sltiu:
+        wr_rt(rs() < static_cast<uint32_t>(simm));
+        break;
+      case Op::Andi: wr_rt(rs() & uimm); break;
+      case Op::Ori: wr_rt(rs() | uimm); break;
+      case Op::Xori: wr_rt(rs() ^ uimm); break;
+      case Op::Lui: wr_rt(uimm << 16); break;
+
+      case Op::J:
+        accountControl(inst, pc, true);
+        next = (pc & 0xf0000000u) | (inst.target << 2);
+        break;
+      case Op::Jal:
+        accountControl(inst, pc, true);
+        writeReg(regs, isa::Ra, pc + 4);
+        next = (pc & 0xf0000000u) | (inst.target << 2);
+        break;
+      case Op::Jr:
+        accountControl(inst, pc, true);
+        next = rs();
+        break;
+      case Op::Jalr:
+        accountControl(inst, pc, true);
+        wr_rd(pc + 4);
+        next = rs();
+        break;
+
+      case Op::Beq: branch(rs() == rt()); break;
+      case Op::Bne: branch(rs() != rt()); break;
+      case Op::Blez: branch(static_cast<int32_t>(rs()) <= 0); break;
+      case Op::Bgtz: branch(static_cast<int32_t>(rs()) > 0); break;
+      case Op::Bltz: branch(static_cast<int32_t>(rs()) < 0); break;
+      case Op::Bgez: branch(static_cast<int32_t>(rs()) >= 0); break;
+
+      case Op::Lb:
+        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 1, true,
+                       handler));
+        break;
+      case Op::Lbu:
+        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 1, false,
+                       handler));
+        break;
+      case Op::Lh:
+        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 2, true,
+                       handler));
+        break;
+      case Op::Lhu:
+        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 2, false,
+                       handler));
+        break;
+      case Op::Lw:
+        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 4, false,
+                       handler));
+        break;
+      case Op::Lwx:
+        wr_rd(loadData(rs() + rt(), 4, false, handler));
+        break;
+      case Op::Sb:
+        storeData(rs() + static_cast<uint32_t>(simm), rt(), 1, handler);
+        break;
+      case Op::Sh:
+        storeData(rs() + static_cast<uint32_t>(simm), rt(), 2, handler);
+        break;
+      case Op::Sw:
+        storeData(rs() + static_cast<uint32_t>(simm), rt(), 4, handler);
+        break;
+
+      case Op::Swic: {
+        uint32_t addr = rs() + static_cast<uint32_t>(simm);
+        if (handler)
+            verifySwic(addr, rt());
+        icache_.swicWrite(addr, rt());
+        break;
+      }
+      case Op::Mfc0:
+        RTDC_ASSERT(inst.rd < isa::numC0Regs, "mfc0 of c0[%u]", inst.rd);
+        wr_rt(c0_[inst.rd]);
+        break;
+      case Op::Mtc0:
+        RTDC_ASSERT(inst.rd < isa::numC0Regs, "mtc0 of c0[%u]", inst.rd);
+        c0_[inst.rd] = rt();
+        break;
+      case Op::Iret:
+        RTDC_ASSERT(handler, "iret outside the exception handler");
+        break;  // handled by runHandler's loop
+
+      case Op::Syscall:
+      case Op::Break:
+        break;  // no OS services are modeled
+      case Op::Halt:
+        stats_.halted = true;
+        stats_.exitCode = simm;
+        stats_.resultValue = readReg(regs, isa::V0);
+        break;
+
+      case Op::Invalid:
+      case Op::NumOps:
+        panic("executing invalid instruction at 0x%08x", pc);
+    }
+    return next;
+}
+
+} // namespace rtd::cpu

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * The processor model: a 1-wide, in-order, 5-stage scalar matching the
+ * paper's Table 1 configuration, with the cache-miss-exception /
+ * swic-based software decompression mechanism of section 4.
+ *
+ * Timing model (documented simplifications in DESIGN.md section 5):
+ * every instruction costs one cycle, plus
+ *  - a 1-cycle load-use interlock when an instruction consumes the
+ *    result of the immediately preceding load,
+ *  - a 1-cycle fetch-redirect bubble for every taken control transfer,
+ *    replaced by the full misprediction penalty (3 cycles) when the
+ *    bimodal predictor is wrong about a conditional branch,
+ *  - full memory-system latency for cache misses: hardware line fills
+ *    and dirty writebacks cost burst time on the 64-bit bus, and
+ *    compressed-region I-misses run the software decompressor
+ *    instruction by instruction (including its own D-cache traffic).
+ *
+ * The decompressor executes from the on-chip HandlerRam at one cycle per
+ * fetch and, per the paper, is entered only from a non-speculative state:
+ * exception entry charges a pipeline-flush penalty.
+ */
+
+#ifndef RTDC_CPU_CPU_H
+#define RTDC_CPU_CPU_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "compress/compressed_image.h"
+#include "cpu/predictor.h"
+#include "isa/isa.h"
+#include "mem/handler_ram.h"
+#include "mem/main_memory.h"
+#include "proccache/manager.h"
+#include "proccache/proc_image.h"
+#include "program/linker.h"
+#include "runtime/handlers.h"
+
+namespace rtd::cpu {
+
+/** Machine configuration (defaults = the paper's Table 1). */
+struct CpuConfig
+{
+    cache::CacheConfig icache{16 * 1024, 32, 2};
+    cache::CacheConfig dcache{8 * 1024, 16, 2};
+    unsigned predictorEntries = 2048;
+    PredictorKind predictorKind = PredictorKind::Bimodal;
+    unsigned mispredictPenalty = 3;     ///< wrong conditional direction
+    unsigned redirectPenalty = 1;       ///< taken-control fetch bubble
+    unsigned exceptionEntryPenalty = 3; ///< pipeline flush before handler
+    unsigned exceptionReturnPenalty = 3;///< refill after iret
+    bool secondRegFile = false;         ///< handler uses shadow registers
+    bool handlerDataUncached = false;   ///< ablation: bypass D-cache
+    mem::MemoryTiming memTiming{};
+    uint64_t maxUserInsns = 0;          ///< safety stop; 0 = unlimited
+    /** Print a disassembled trace of the first @p traceInsns
+     *  instructions (user + handler) to stderr; 0 disables. */
+    uint64_t traceInsns = 0;
+};
+
+/** Everything a run produces. */
+struct RunStats
+{
+    uint64_t cycles = 0;
+    uint64_t userInsns = 0;     ///< committed program instructions
+    uint64_t handlerInsns = 0;  ///< decompressor instructions executed
+
+    uint64_t icacheAccesses = 0;  ///< user fetches only
+    uint64_t icacheMisses = 0;    ///< user fetch misses (non-speculative)
+    uint64_t compressedMisses = 0;///< misses serviced by the decompressor
+    uint64_t nativeMisses = 0;    ///< misses serviced by the hardware
+
+    uint64_t dcacheAccesses = 0;
+    uint64_t dcacheMisses = 0;
+    uint64_t writebacks = 0;
+
+    uint64_t branchLookups = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t loadUseStalls = 0;
+    uint64_t exceptions = 0;
+
+    /// @name Procedure-cache (Kirovski baseline) counters
+    /// @{
+    uint64_t procFaults = 0;       ///< whole-procedure decompressions
+    uint64_t procEvictions = 0;
+    uint64_t procCompactedBytes = 0;
+    uint64_t procDecompressedBytes = 0;
+    /// @}
+
+    bool halted = false;     ///< program executed halt
+    bool timedOut = false;   ///< stopped by maxUserInsns
+    int32_t exitCode = 0;    ///< halt immediate
+    uint32_t resultValue = 0;///< v0 at halt (program checksum in tests)
+
+    double icacheMissRatio() const;
+    double dcacheMissRatio() const;
+    double cpi() const;
+};
+
+/** The simulated processor. */
+class Cpu
+{
+  public:
+    Cpu(const CpuConfig &config, mem::MainMemory &memory,
+        const prog::LoadedImage &image);
+
+    /**
+     * Attach a software decompressor: the handler is loaded into the
+     * on-chip RAM, the c0 registers are initialized from the compressed
+     * image, and I-misses inside [decomp_base, decomp_base +
+     * region_bytes) raise the decompression exception.
+     *
+     * @param cimage       compressed image (c0 register values; the
+     *                     segments themselves must already be in memory)
+     * @param handler      assembled exception handler
+     * @param region_bytes size of the compressed region including any
+     *                     group padding
+     */
+    void attachDecompressor(const compress::CompressedImage &cimage,
+                            const runtime::HandlerBuild &handler,
+                            uint32_t region_bytes);
+
+    /**
+     * Attach the procedure-based decompression baseline (Kirovski et
+     * al.): the LZRW1 runtime is loaded into the handler RAM and whole
+     * procedures are decompressed into a software-managed procedure
+     * cache on first use. Mutually exclusive with attachDecompressor().
+     *
+     * @param pimage  per-procedure compressed image (segments must
+     *                already be in memory)
+     * @param handler the LZRW1 runtime (buildLzrw1Handler())
+     * @param config  procedure-cache capacity and dispatch cost
+     */
+    void attachProcDecompressor(
+        const proccache::ProcCompressedImage &pimage,
+        const runtime::HandlerBuild &handler,
+        const proccache::ProcCacheConfig &config);
+
+    /**
+     * Enable per-procedure profiling: dynamic instruction and
+     * non-speculative I-miss counts per LinkedProc (indexed as in
+     * image.procs).
+     */
+    void enableProfiling();
+
+    /** Run until halt (or maxUserInsns). */
+    RunStats run();
+
+    /// @name Post-run inspection
+    /// @{
+    const cache::Cache &icache() const { return icache_; }
+    const cache::Cache &dcache() const { return dcache_; }
+    const BimodalPredictor &predictor() const { return predictor_; }
+    const std::vector<uint64_t> &procExecInsns() const
+    {
+        return procExecInsns_;
+    }
+    const std::vector<uint64_t> &procMisses() const { return procMisses_; }
+    /** Inter-procedure transition counts (linked-index keyed). */
+    const std::unordered_map<uint64_t, uint64_t> &procTransitions() const
+    {
+        return procTransitions_;
+    }
+    uint32_t reg(unsigned r) const { return regs_[r]; }
+    /** Procedure-cache manager (nullptr unless attached). */
+    const proccache::ProcCacheManager *procCache() const
+    {
+        return procMgr_.get();
+    }
+    /// @}
+
+  private:
+    /** Execute one user instruction (fetch, decode, execute, retire). */
+    void step();
+    /** Fetch the instruction word at pc_, servicing any miss. */
+    uint32_t fetchUser();
+    /** Run the decompression exception handler for a miss at @p addr. */
+    void runHandler(uint32_t addr);
+    /**
+     * Procedure-cache path: ensure the procedure containing @p pc is
+     * resident, running the whole-procedure fault flow when not.
+     */
+    void ensureProcResident(uint32_t pc);
+    /** Whole-procedure decompression fault (Kirovski baseline). */
+    void procFault(uint32_t addr, int32_t proc);
+    /**
+     * Execute one instruction on register file @p regs.
+     * @param inst     decoded instruction
+     * @param pc       its address
+     * @param regs     active register file
+     * @param handler  true when executing decompressor code
+     * @return the next PC
+     */
+    uint32_t execute(const isa::Instruction &inst, uint32_t pc,
+                     uint32_t *regs, bool handler);
+    /** Timing + data for one D-cache access of @p bytes at @p addr. */
+    void dataAccess(uint32_t addr, bool is_store, bool handler);
+    /** Memory read/write helpers routed through the D-cache. */
+    uint32_t loadData(uint32_t addr, unsigned bytes, bool sign_extend,
+                      bool handler);
+    void storeData(uint32_t addr, uint32_t value, unsigned bytes,
+                   bool handler);
+    /** Apply control-flow timing for a resolved branch/jump. */
+    void accountControl(const isa::Instruction &inst, uint32_t pc,
+                        bool taken);
+    /** Verify a handler swic against the linked ground truth. */
+    void verifySwic(uint32_t addr, uint32_t word) const;
+    /** Track current procedure for profiling. */
+    void noteUserPc(uint32_t pc);
+
+    uint32_t readReg(const uint32_t *regs, unsigned r) const
+    {
+        return r == 0 ? 0 : regs[r];
+    }
+    static void
+    writeReg(uint32_t *regs, unsigned r, uint32_t value)
+    {
+        if (r != 0)
+            regs[r] = value;
+    }
+
+    CpuConfig config_;
+    mem::MainMemory &memory_;
+    const prog::LoadedImage &image_;
+
+    cache::Cache icache_;
+    cache::Cache dcache_;
+    BimodalPredictor predictor_;
+    mem::HandlerRam handlerRam_;
+
+    std::array<uint32_t, isa::numRegs> regs_{};
+    std::array<uint32_t, isa::numRegs> shadowRegs_{};
+    uint32_t hi_ = 0;
+    uint32_t lo_ = 0;
+    std::array<uint32_t, isa::numC0Regs> c0_{};
+    uint32_t pc_ = 0;
+
+    bool decompressorAttached_ = false;
+    uint32_t compressedLo_ = 0;
+    uint32_t compressedHi_ = 0;
+
+    // Procedure-cache (Kirovski baseline) state.
+    const proccache::ProcCompressedImage *procImage_ = nullptr;
+    std::unique_ptr<proccache::ProcCacheManager> procMgr_;
+    proccache::ProcCacheConfig procConfig_;
+    uint32_t procCurLo_ = 1;  ///< empty range forces first lookup
+    uint32_t procCurHi_ = 0;
+
+    // Load-use interlock state: destination of the previous instruction
+    // when it was a load, else 0 (r0 never stalls).
+    uint8_t lastLoadDest_ = 0;
+
+    bool profiling_ = false;
+    std::vector<uint64_t> procExecInsns_;
+    std::vector<uint64_t> procMisses_;
+    std::unordered_map<uint64_t, uint64_t> procTransitions_;
+    int32_t curProc_ = -1;
+    uint32_t curProcLo_ = 1;  ///< empty range forces first lookup
+    uint32_t curProcHi_ = 0;
+
+    RunStats stats_;
+    std::vector<uint8_t> lineBuf_;  ///< scratch for fills/writebacks
+    std::vector<uint8_t> wbBuf_;
+};
+
+} // namespace rtd::cpu
+
+#endif // RTDC_CPU_CPU_H

@@ -1,0 +1,76 @@
+#include "cpu/predictor.h"
+
+#include "support/bitops.h"
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace rtd::cpu {
+
+const char *
+predictorName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Bimodal: return "bimodal";
+      case PredictorKind::Gshare: return "gshare";
+      case PredictorKind::StaticNotTaken: return "not-taken";
+    }
+    return "?";
+}
+
+BimodalPredictor::BimodalPredictor(unsigned entries, PredictorKind kind)
+    : kind_(kind), table_(entries, 2)  // weakly taken, as in SimpleScalar
+{
+    RTDC_ASSERT(isPowerOfTwo(entries), "predictor entries %u not a power "
+                "of two", entries);
+    historyBits_ = floorLog2(entries);
+}
+
+bool
+BimodalPredictor::predict(uint32_t pc) const
+{
+    if (kind_ == PredictorKind::StaticNotTaken)
+        return false;
+    return table_[index(pc)] >= 2;
+}
+
+bool
+BimodalPredictor::update(uint32_t pc, bool taken)
+{
+    ++lookups_;
+    if (kind_ == PredictorKind::StaticNotTaken) {
+        if (taken)
+            ++mispredicts_;
+        return !taken;
+    }
+    uint8_t &counter = table_[index(pc)];
+    bool correct = (counter >= 2) == taken;
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+    if (kind_ == PredictorKind::Gshare) {
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
+                   ((1u << historyBits_) - 1u);
+    }
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+double
+BimodalPredictor::mispredictRatio() const
+{
+    return ratio(mispredicts_, lookups_);
+}
+
+void
+BimodalPredictor::resetStats()
+{
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace rtd::cpu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Branch predictors. The paper's Table 1 machine uses a 2048-entry
+ * bimodal predictor; gshare and static-not-taken variants are provided
+ * for sensitivity studies (the decompression exception path interacts
+ * with prediction only through the miss ratio, which the ablation bench
+ * quantifies).
+ */
+
+#ifndef RTDC_CPU_PREDICTOR_H
+#define RTDC_CPU_PREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rtd::cpu {
+
+/** Which direction predictor the core uses. */
+enum class PredictorKind : uint8_t
+{
+    Bimodal,         ///< per-PC 2-bit counters (the paper's machine)
+    Gshare,          ///< global-history xor PC indexed 2-bit counters
+    StaticNotTaken,  ///< always predict not-taken (no table)
+};
+
+const char *predictorName(PredictorKind kind);
+
+/** Conditional-branch direction predictor. */
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned entries = 2048,
+                              PredictorKind kind = PredictorKind::Bimodal);
+
+    /** Predicted direction for the branch at @p pc. */
+    bool predict(uint32_t pc) const;
+
+    /**
+     * Update with the resolved direction.
+     * @return true when the prediction was correct.
+     */
+    bool update(uint32_t pc, bool taken);
+
+    PredictorKind kind() const { return kind_; }
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+    double mispredictRatio() const;
+    void resetStats();
+
+  private:
+    unsigned index(uint32_t pc) const
+    {
+        unsigned mask = static_cast<unsigned>(table_.size()) - 1;
+        if (kind_ == PredictorKind::Gshare)
+            return ((pc >> 2) ^ history_) & mask;
+        return (pc >> 2) & mask;
+    }
+
+    PredictorKind kind_;
+    std::vector<uint8_t> table_;  ///< 2-bit counters, init weakly taken
+    uint32_t history_ = 0;        ///< global history (gshare)
+    unsigned historyBits_ = 0;
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace rtd::cpu
+
+#endif // RTDC_CPU_PREDICTOR_H

@@ -1,0 +1,125 @@
+#include "isa/decode.h"
+
+#include "isa/encoding.h"
+#include "support/bitops.h"
+
+namespace rtd::isa {
+
+using namespace enc;
+
+namespace {
+
+Op
+decodeSpecial(uint32_t funct)
+{
+    switch (funct) {
+      case FnSll: return Op::Sll;
+      case FnSrl: return Op::Srl;
+      case FnSra: return Op::Sra;
+      case FnSllv: return Op::Sllv;
+      case FnSrlv: return Op::Srlv;
+      case FnSrav: return Op::Srav;
+      case FnJr: return Op::Jr;
+      case FnJalr: return Op::Jalr;
+      case FnSyscall: return Op::Syscall;
+      case FnBreak: return Op::Break;
+      case FnMfhi: return Op::Mfhi;
+      case FnMthi: return Op::Mthi;
+      case FnMflo: return Op::Mflo;
+      case FnMtlo: return Op::Mtlo;
+      case FnMult: return Op::Mult;
+      case FnMultu: return Op::Multu;
+      case FnDiv: return Op::Div;
+      case FnDivu: return Op::Divu;
+      case FnAdd: return Op::Add;
+      case FnAddu: return Op::Addu;
+      case FnSub: return Op::Sub;
+      case FnSubu: return Op::Subu;
+      case FnAnd: return Op::And;
+      case FnOr: return Op::Or;
+      case FnXor: return Op::Xor;
+      case FnNor: return Op::Nor;
+      case FnSlt: return Op::Slt;
+      case FnSltu: return Op::Sltu;
+      case FnLwx: return Op::Lwx;
+      default: return Op::Invalid;
+    }
+}
+
+Op
+decodePrimary(uint32_t opcode)
+{
+    switch (opcode) {
+      case OpJ: return Op::J;
+      case OpJal: return Op::Jal;
+      case OpBeq: return Op::Beq;
+      case OpBne: return Op::Bne;
+      case OpBlez: return Op::Blez;
+      case OpBgtz: return Op::Bgtz;
+      case OpAddi: return Op::Addi;
+      case OpAddiu: return Op::Addiu;
+      case OpSlti: return Op::Slti;
+      case OpSltiu: return Op::Sltiu;
+      case OpAndi: return Op::Andi;
+      case OpOri: return Op::Ori;
+      case OpXori: return Op::Xori;
+      case OpLui: return Op::Lui;
+      case OpLb: return Op::Lb;
+      case OpLh: return Op::Lh;
+      case OpLw: return Op::Lw;
+      case OpLbu: return Op::Lbu;
+      case OpLhu: return Op::Lhu;
+      case OpSb: return Op::Sb;
+      case OpSh: return Op::Sh;
+      case OpSw: return Op::Sw;
+      case OpSwic: return Op::Swic;
+      case OpHalt: return Op::Halt;
+      default: return Op::Invalid;
+    }
+}
+
+} // namespace
+
+Instruction
+decode(uint32_t word)
+{
+    Instruction inst;
+    uint32_t opcode = bits(word, 26, 6);
+    inst.rs = static_cast<uint8_t>(bits(word, 21, 5));
+    inst.rt = static_cast<uint8_t>(bits(word, 16, 5));
+    inst.rd = static_cast<uint8_t>(bits(word, 11, 5));
+    inst.shamt = static_cast<uint8_t>(bits(word, 6, 5));
+    inst.imm = static_cast<uint16_t>(bits(word, 0, 16));
+    inst.target = bits(word, 0, 26);
+
+    switch (opcode) {
+      case OpSpecial:
+        inst.op = decodeSpecial(bits(word, 0, 6));
+        break;
+      case OpRegimm:
+        switch (inst.rt) {
+          case RiBltz: inst.op = Op::Bltz; break;
+          case RiBgez: inst.op = Op::Bgez; break;
+          default: inst.op = Op::Invalid; break;
+        }
+        inst.rt = 0;
+        break;
+      case OpCop0:
+        switch (inst.rs) {
+          case CopMfc0: inst.op = Op::Mfc0; break;
+          case CopMtc0: inst.op = Op::Mtc0; break;
+          case CopCo:
+            inst.op = (bits(word, 0, 6) == FnIret) ? Op::Iret : Op::Invalid;
+            break;
+          default: inst.op = Op::Invalid; break;
+        }
+        inst.rs = 0;
+        break;
+      default:
+        inst.op = decodePrimary(opcode);
+        break;
+    }
+    return inst;
+}
+
+} // namespace rtd::isa

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Instruction-word decoder for the rtd ISA.
+ */
+
+#ifndef RTDC_ISA_DECODE_H
+#define RTDC_ISA_DECODE_H
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace rtd::isa {
+
+/**
+ * Decode a 32-bit instruction word.
+ *
+ * @return the decoded Instruction; op == Op::Invalid for undefined
+ *         encodings (the CPU treats executing one as a fatal error).
+ */
+Instruction decode(uint32_t word);
+
+} // namespace rtd::isa
+
+#endif // RTDC_ISA_DECODE_H

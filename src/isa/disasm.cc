@@ -1,0 +1,107 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+#include "isa/decode.h"
+#include "support/bitops.h"
+
+namespace rtd::isa {
+
+const char *
+regName(uint8_t r)
+{
+    static const char *names[numRegs] = {
+        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+        "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+        "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+        "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+    };
+    return r < numRegs ? names[r] : "??";
+}
+
+std::string
+disassemble(const Instruction &inst, uint32_t pc)
+{
+    char buf[96];
+    const char *mn = opName(inst.op);
+    const char *rs = regName(inst.rs);
+    const char *rt = regName(inst.rt);
+    const char *rd = regName(inst.rd);
+    int16_t simm = static_cast<int16_t>(inst.imm);
+
+    switch (inst.op) {
+      case Op::Sll: case Op::Srl: case Op::Sra:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,%u", mn, rd, rt,
+                      inst.shamt);
+        break;
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,%s", mn, rd, rt, rs);
+        break;
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,%s", mn, rd, rs, rt);
+        break;
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s", mn, rs, rt);
+        break;
+      case Op::Mfhi: case Op::Mflo:
+        std::snprintf(buf, sizeof(buf), "%s %s", mn, rd);
+        break;
+      case Op::Mthi: case Op::Mtlo:
+        std::snprintf(buf, sizeof(buf), "%s %s", mn, rs);
+        break;
+      case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,%d", mn, rt, rs, simm);
+        break;
+      case Op::Andi: case Op::Ori: case Op::Xori:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,0x%x", mn, rt, rs,
+                      inst.imm);
+        break;
+      case Op::Lui:
+        std::snprintf(buf, sizeof(buf), "%s %s,0x%x", mn, rt, inst.imm);
+        break;
+      case Op::J: case Op::Jal:
+        std::snprintf(buf, sizeof(buf), "%s 0x%x", mn, inst.target << 2);
+        break;
+      case Op::Jr:
+        std::snprintf(buf, sizeof(buf), "%s %s", mn, rs);
+        break;
+      case Op::Jalr:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s", mn, rd, rs);
+        break;
+      case Op::Beq: case Op::Bne:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s,0x%x", mn, rs, rt,
+                      pc + 4 + (static_cast<int32_t>(simm) << 2));
+        break;
+      case Op::Blez: case Op::Bgtz: case Op::Bltz: case Op::Bgez:
+        std::snprintf(buf, sizeof(buf), "%s %s,0x%x", mn, rs,
+                      pc + 4 + (static_cast<int32_t>(simm) << 2));
+        break;
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Swic:
+        std::snprintf(buf, sizeof(buf), "%s %s,%d(%s)", mn, rt, simm, rs);
+        break;
+      case Op::Lwx:
+        std::snprintf(buf, sizeof(buf), "%s %s,%s+%s", mn, rd, rs, rt);
+        break;
+      case Op::Mfc0: case Op::Mtc0:
+        std::snprintf(buf, sizeof(buf), "%s %s,c0[%u]", mn, rt, inst.rd);
+        break;
+      case Op::Halt:
+        std::snprintf(buf, sizeof(buf), "%s %d", mn, simm);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s", mn);
+        break;
+    }
+    return buf;
+}
+
+std::string
+disassembleWord(uint32_t word, uint32_t pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace rtd::isa

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Disassembler for the rtd ISA, used by tests, examples, and debugging.
+ */
+
+#ifndef RTDC_ISA_DISASM_H
+#define RTDC_ISA_DISASM_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace rtd::isa {
+
+/** Conventional name of register @p r, e.g. 2 -> "v0". */
+const char *regName(uint8_t r);
+
+/**
+ * Render a decoded instruction as assembly text.
+ *
+ * @param inst the instruction
+ * @param pc   PC of the instruction; used to resolve branch targets
+ */
+std::string disassemble(const Instruction &inst, uint32_t pc = 0);
+
+/** Decode and render a raw instruction word. */
+std::string disassembleWord(uint32_t word, uint32_t pc = 0);
+
+} // namespace rtd::isa
+
+#endif // RTDC_ISA_DISASM_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Raw field layout of the rtd encoding, shared by the encoder and decoder.
+ *
+ * Opcode and funct values follow the classic MIPS numbering where an
+ * equivalent exists; the three extensions use reserved opcodes.
+ */
+
+#ifndef RTDC_ISA_ENCODING_H
+#define RTDC_ISA_ENCODING_H
+
+#include <cstdint>
+
+namespace rtd::isa::enc {
+
+/// Primary opcodes (bits 31..26).
+enum Opcode : uint32_t
+{
+    OpSpecial = 0x00,
+    OpRegimm = 0x01,
+    OpJ = 0x02,
+    OpJal = 0x03,
+    OpBeq = 0x04,
+    OpBne = 0x05,
+    OpBlez = 0x06,
+    OpBgtz = 0x07,
+    OpAddi = 0x08,
+    OpAddiu = 0x09,
+    OpSlti = 0x0a,
+    OpSltiu = 0x0b,
+    OpAndi = 0x0c,
+    OpOri = 0x0d,
+    OpXori = 0x0e,
+    OpLui = 0x0f,
+    OpCop0 = 0x10,
+    OpLb = 0x20,
+    OpLh = 0x21,
+    OpLw = 0x23,
+    OpLbu = 0x24,
+    OpLhu = 0x25,
+    OpSb = 0x28,
+    OpSh = 0x29,
+    OpSw = 0x2b,
+    OpSwic = 0x33, ///< extension: store word into I-cache
+    OpHalt = 0x3f, ///< extension: stop simulation
+};
+
+/// SPECIAL functs (bits 5..0 when opcode == OpSpecial).
+enum Funct : uint32_t
+{
+    FnSll = 0x00,
+    FnSrl = 0x02,
+    FnSra = 0x03,
+    FnSllv = 0x04,
+    FnSrlv = 0x06,
+    FnSrav = 0x07,
+    FnJr = 0x08,
+    FnJalr = 0x09,
+    FnSyscall = 0x0c,
+    FnBreak = 0x0d,
+    FnMfhi = 0x10,
+    FnMthi = 0x11,
+    FnMflo = 0x12,
+    FnMtlo = 0x13,
+    FnMult = 0x18,
+    FnMultu = 0x19,
+    FnDiv = 0x1a,
+    FnDivu = 0x1b,
+    FnAdd = 0x20,
+    FnAddu = 0x21,
+    FnSub = 0x22,
+    FnSubu = 0x23,
+    FnAnd = 0x24,
+    FnOr = 0x25,
+    FnXor = 0x26,
+    FnNor = 0x27,
+    FnSlt = 0x2a,
+    FnSltu = 0x2b,
+    FnLwx = 0x28, ///< extension: indexed load word
+};
+
+/// REGIMM rt selectors.
+enum Regimm : uint32_t
+{
+    RiBltz = 0x00,
+    RiBgez = 0x01,
+};
+
+/// COP0 rs selectors; iret is encoded like MIPS eret (CO + funct).
+enum Cop0 : uint32_t
+{
+    CopMfc0 = 0x00,
+    CopMtc0 = 0x04,
+    CopCo = 0x10,
+    FnIret = 0x18,
+};
+
+} // namespace rtd::isa::enc
+
+#endif // RTDC_ISA_ENCODING_H

@@ -1,0 +1,323 @@
+#include "isa/isa.h"
+
+#include "isa/encoding.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::isa {
+
+using namespace enc;
+
+namespace {
+
+/** Encoding class of an Op, used to route the generic encoder. */
+enum class Fmt { R, I, J, Cop, Sys };
+
+struct OpInfo
+{
+    Fmt fmt;
+    uint32_t opcode; ///< primary opcode
+    uint32_t funct;  ///< funct (R) / regimm rt (Bltz/Bgez)
+};
+
+const OpInfo &
+info(Op op)
+{
+    static const OpInfo table[] = {
+        /* Invalid */ {Fmt::Sys, 0x3e, 0},
+        /* Sll    */ {Fmt::R, OpSpecial, FnSll},
+        /* Srl    */ {Fmt::R, OpSpecial, FnSrl},
+        /* Sra    */ {Fmt::R, OpSpecial, FnSra},
+        /* Sllv   */ {Fmt::R, OpSpecial, FnSllv},
+        /* Srlv   */ {Fmt::R, OpSpecial, FnSrlv},
+        /* Srav   */ {Fmt::R, OpSpecial, FnSrav},
+        /* Add    */ {Fmt::R, OpSpecial, FnAdd},
+        /* Addu   */ {Fmt::R, OpSpecial, FnAddu},
+        /* Sub    */ {Fmt::R, OpSpecial, FnSub},
+        /* Subu   */ {Fmt::R, OpSpecial, FnSubu},
+        /* And    */ {Fmt::R, OpSpecial, FnAnd},
+        /* Or     */ {Fmt::R, OpSpecial, FnOr},
+        /* Xor    */ {Fmt::R, OpSpecial, FnXor},
+        /* Nor    */ {Fmt::R, OpSpecial, FnNor},
+        /* Slt    */ {Fmt::R, OpSpecial, FnSlt},
+        /* Sltu   */ {Fmt::R, OpSpecial, FnSltu},
+        /* Mult   */ {Fmt::R, OpSpecial, FnMult},
+        /* Multu  */ {Fmt::R, OpSpecial, FnMultu},
+        /* Div    */ {Fmt::R, OpSpecial, FnDiv},
+        /* Divu   */ {Fmt::R, OpSpecial, FnDivu},
+        /* Mfhi   */ {Fmt::R, OpSpecial, FnMfhi},
+        /* Mflo   */ {Fmt::R, OpSpecial, FnMflo},
+        /* Mthi   */ {Fmt::R, OpSpecial, FnMthi},
+        /* Mtlo   */ {Fmt::R, OpSpecial, FnMtlo},
+        /* Addi   */ {Fmt::I, OpAddi, 0},
+        /* Addiu  */ {Fmt::I, OpAddiu, 0},
+        /* Slti   */ {Fmt::I, OpSlti, 0},
+        /* Sltiu  */ {Fmt::I, OpSltiu, 0},
+        /* Andi   */ {Fmt::I, OpAndi, 0},
+        /* Ori    */ {Fmt::I, OpOri, 0},
+        /* Xori   */ {Fmt::I, OpXori, 0},
+        /* Lui    */ {Fmt::I, OpLui, 0},
+        /* J      */ {Fmt::J, OpJ, 0},
+        /* Jal    */ {Fmt::J, OpJal, 0},
+        /* Jr     */ {Fmt::R, OpSpecial, FnJr},
+        /* Jalr   */ {Fmt::R, OpSpecial, FnJalr},
+        /* Beq    */ {Fmt::I, OpBeq, 0},
+        /* Bne    */ {Fmt::I, OpBne, 0},
+        /* Blez   */ {Fmt::I, OpBlez, 0},
+        /* Bgtz   */ {Fmt::I, OpBgtz, 0},
+        /* Bltz   */ {Fmt::I, OpRegimm, RiBltz},
+        /* Bgez   */ {Fmt::I, OpRegimm, RiBgez},
+        /* Lb     */ {Fmt::I, OpLb, 0},
+        /* Lh     */ {Fmt::I, OpLh, 0},
+        /* Lw     */ {Fmt::I, OpLw, 0},
+        /* Lbu    */ {Fmt::I, OpLbu, 0},
+        /* Lhu    */ {Fmt::I, OpLhu, 0},
+        /* Sb     */ {Fmt::I, OpSb, 0},
+        /* Sh     */ {Fmt::I, OpSh, 0},
+        /* Sw     */ {Fmt::I, OpSw, 0},
+        /* Syscall*/ {Fmt::R, OpSpecial, FnSyscall},
+        /* Break  */ {Fmt::R, OpSpecial, FnBreak},
+        /* Halt   */ {Fmt::I, OpHalt, 0},
+        /* Swic   */ {Fmt::I, OpSwic, 0},
+        /* Iret   */ {Fmt::Cop, OpCop0, FnIret},
+        /* Mfc0   */ {Fmt::Cop, OpCop0, CopMfc0},
+        /* Mtc0   */ {Fmt::Cop, OpCop0, CopMtc0},
+        /* Lwx    */ {Fmt::R, OpSpecial, FnLwx},
+    };
+    static_assert(sizeof(table) / sizeof(table[0]) ==
+                  static_cast<size_t>(Op::NumOps),
+                  "OpInfo table out of sync with Op enum");
+    return table[static_cast<size_t>(op)];
+}
+
+} // namespace
+
+uint32_t
+encodeR(Op op, uint8_t rs, uint8_t rt, uint8_t rd, uint8_t shamt)
+{
+    const OpInfo &oi = info(op);
+    RTDC_ASSERT(oi.fmt == Fmt::R, "%s is not R-format", opName(op));
+    uint32_t w = 0;
+    w = insertBits(w, 26, 6, oi.opcode);
+    w = insertBits(w, 21, 5, rs);
+    w = insertBits(w, 16, 5, rt);
+    w = insertBits(w, 11, 5, rd);
+    w = insertBits(w, 6, 5, shamt);
+    w = insertBits(w, 0, 6, oi.funct);
+    return w;
+}
+
+uint32_t
+encodeI(Op op, uint8_t rs, uint8_t rt, uint16_t imm)
+{
+    const OpInfo &oi = info(op);
+    RTDC_ASSERT(oi.fmt == Fmt::I, "%s is not I-format", opName(op));
+    uint32_t w = 0;
+    w = insertBits(w, 26, 6, oi.opcode);
+    if (oi.opcode == OpRegimm) {
+        // rt field is the regimm selector; rs is the tested register.
+        w = insertBits(w, 21, 5, rs);
+        w = insertBits(w, 16, 5, oi.funct);
+    } else {
+        w = insertBits(w, 21, 5, rs);
+        w = insertBits(w, 16, 5, rt);
+    }
+    w = insertBits(w, 0, 16, imm);
+    return w;
+}
+
+uint32_t
+encodeJ(Op op, uint32_t target_word_index)
+{
+    const OpInfo &oi = info(op);
+    RTDC_ASSERT(oi.fmt == Fmt::J, "%s is not J-format", opName(op));
+    uint32_t w = 0;
+    w = insertBits(w, 26, 6, oi.opcode);
+    w = insertBits(w, 0, 26, target_word_index);
+    return w;
+}
+
+uint32_t
+encode(const Instruction &inst)
+{
+    const OpInfo &oi = info(inst.op);
+    switch (oi.fmt) {
+      case Fmt::R:
+        return encodeR(inst.op, inst.rs, inst.rt, inst.rd, inst.shamt);
+      case Fmt::I:
+        return encodeI(inst.op, inst.rs, inst.rt, inst.imm);
+      case Fmt::J:
+        return encodeJ(inst.op, inst.target);
+      case Fmt::Cop: {
+        uint32_t w = 0;
+        w = insertBits(w, 26, 6, OpCop0);
+        if (inst.op == Op::Iret) {
+            w = insertBits(w, 21, 5, CopCo);
+            w = insertBits(w, 0, 6, FnIret);
+        } else {
+            w = insertBits(w, 21, 5, oi.funct); // mfc0/mtc0 selector
+            w = insertBits(w, 16, 5, inst.rt);  // GPR
+            w = insertBits(w, 11, 5, inst.rd);  // c0 register
+        }
+        return w;
+      }
+      case Fmt::Sys:
+        break;
+    }
+    panic("encode() of invalid instruction");
+}
+
+uint32_t
+nopWord()
+{
+    return encodeR(Op::Sll, 0, 0, 0, 0);
+}
+
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Lwx:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Op op)
+{
+    switch (op) {
+      case Op::Sb: case Op::Sh: case Op::Sw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCondBranch(Op op)
+{
+    switch (op) {
+      case Op::Beq: case Op::Bne: case Op::Blez: case Op::Bgtz:
+      case Op::Bltz: case Op::Bgez:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isJump(Op op)
+{
+    switch (op) {
+      case Op::J: case Op::Jal: case Op::Jr: case Op::Jalr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControl(Op op)
+{
+    return isCondBranch(op) || isJump(op) || op == Op::Iret;
+}
+
+uint8_t
+destReg(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Op::Sll: case Op::Srl: case Op::Sra:
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu:
+      case Op::Mfhi: case Op::Mflo:
+      case Op::Jalr: case Op::Lwx:
+        return inst.rd;
+      case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+      case Op::Andi: case Op::Ori: case Op::Xori: case Op::Lui:
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Mfc0:
+        return inst.rt;
+      case Op::Jal:
+        return Ra;
+      default:
+        return 0;
+    }
+}
+
+unsigned
+srcRegs(const Instruction &inst, uint8_t regs[2])
+{
+    switch (inst.op) {
+      // shift-by-immediate: one source
+      case Op::Sll: case Op::Srl: case Op::Sra:
+        regs[0] = inst.rt;
+        return 1;
+      // two-source ALU
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu:
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+      case Op::Lwx:
+        regs[0] = inst.rs;
+        regs[1] = inst.rt;
+        return 2;
+      case Op::Mthi: case Op::Mtlo:
+        regs[0] = inst.rs;
+        return 1;
+      // immediate ALU and loads
+      case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+      case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+        regs[0] = inst.rs;
+        return 1;
+      // stores read base and data
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Swic:
+        regs[0] = inst.rs;
+        regs[1] = inst.rt;
+        return 2;
+      // branches
+      case Op::Beq: case Op::Bne:
+        regs[0] = inst.rs;
+        regs[1] = inst.rt;
+        return 2;
+      case Op::Blez: case Op::Bgtz: case Op::Bltz: case Op::Bgez:
+      case Op::Jr: case Op::Jalr:
+        regs[0] = inst.rs;
+        return 1;
+      case Op::Mtc0:
+        regs[0] = inst.rt;
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    static const char *names[] = {
+        "invalid",
+        "sll", "srl", "sra", "sllv", "srlv", "srav",
+        "add", "addu", "sub", "subu", "and", "or", "xor", "nor",
+        "slt", "sltu",
+        "mult", "multu", "div", "divu", "mfhi", "mflo", "mthi", "mtlo",
+        "addi", "addiu", "slti", "sltiu", "andi", "ori", "xori", "lui",
+        "j", "jal", "jr", "jalr",
+        "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+        "lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw",
+        "syscall", "break", "halt",
+        "swic", "iret", "mfc0", "mtc0", "lwx",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) ==
+                  static_cast<size_t>(Op::NumOps),
+                  "name table out of sync with Op enum");
+    return names[static_cast<size_t>(op)];
+}
+
+} // namespace rtd::isa

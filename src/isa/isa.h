@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The rtd instruction set: a 32-bit MIPS-IV-like RISC encoding.
+ *
+ * The paper re-encodes SimpleScalar's loose 64-bit instructions into a
+ * 32-bit encoding "resembling the MIPS IV encoding" so that compression
+ * results are not exaggerated. This module defines that encoding, plus the
+ * three extensions the paper adds for software-managed decompression
+ * (section 4):
+ *
+ *  - swic rt, n(rs) : store the word in rt to I-cache address rs + n
+ *  - iret           : return from the cache-miss exception handler
+ *  - mfc0 rt, c0[r] : read a system (coprocessor 0) register
+ *
+ * Formats (MIPS classic):
+ *  - R: opcode(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+ *  - I: opcode(6) rs(5) rt(5) imm(16)
+ *  - J: opcode(6) target(26)
+ *
+ * There are no branch delay slots (documented model simplification).
+ */
+
+#ifndef RTDC_ISA_ISA_H
+#define RTDC_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace rtd::isa {
+
+/** Number of general-purpose registers; r0 is hardwired to zero. */
+constexpr unsigned numRegs = 32;
+
+/** Conventional register numbers (MIPS o32 names). */
+enum Reg : uint8_t
+{
+    Zero = 0, At = 1, V0 = 2, V1 = 3,
+    A0 = 4, A1 = 5, A2 = 6, A3 = 7,
+    T0 = 8, T1 = 9, T2 = 10, T3 = 11, T4 = 12, T5 = 13, T6 = 14, T7 = 15,
+    S0 = 16, S1 = 17, S2 = 18, S3 = 19,
+    S4 = 20, S5 = 21, S6 = 22, S7 = 23,
+    T8 = 24, T9 = 25,
+    K0 = 26, K1 = 27, // reserved for OS; the paper's handler uses r26/r27
+    Gp = 28, Sp = 29, Fp = 30, Ra = 31,
+};
+
+/** Decoded operation. */
+enum class Op : uint8_t
+{
+    Invalid = 0,
+    // ALU register-register
+    Sll, Srl, Sra, Sllv, Srlv, Srav,
+    Add, Addu, Sub, Subu, And, Or, Xor, Nor, Slt, Sltu,
+    Mult, Multu, Div, Divu, Mfhi, Mflo, Mthi, Mtlo,
+    // ALU register-immediate
+    Addi, Addiu, Slti, Sltiu, Andi, Ori, Xori, Lui,
+    // Control
+    J, Jal, Jr, Jalr,
+    Beq, Bne, Blez, Bgtz, Bltz, Bgez,
+    // Memory
+    Lb, Lh, Lw, Lbu, Lhu, Sb, Sh, Sw,
+    // System
+    Syscall, Break, Halt,
+    // Software-decompression extensions (paper section 4)
+    Swic, Iret, Mfc0, Mtc0,
+    // Indexed load (MIPS-IV style): lwx rd, rs+rt. Figure 2's handler
+    // uses register+register addressing ("lw $26,($11+$10)").
+    Lwx,
+    NumOps,
+};
+
+/** Coprocessor-0 register numbers used by the decompression runtime. */
+enum C0Reg : uint8_t
+{
+    // Handler input registers (Figure 2 reads c0[0..2]); we allocate a few
+    // more for the CodePack handler.
+    C0DecompBase = 0,   ///< base VA of the decompressed-code region
+    C0DictBase = 1,     ///< dictionary base (dictionary scheme)
+    C0IndexBase = 2,    ///< indices / codeword-stream base
+    C0MapBase = 3,      ///< CodePack mapping-table base
+    C0HighDictBase = 4, ///< CodePack high-halfword dictionary base
+    C0LowDictBase = 5,  ///< CodePack low-halfword dictionary base
+    C0Scratch0 = 6,
+    C0Scratch1 = 7,
+    C0BadVa = 8,        ///< faulting fetch address on a miss exception
+    C0Epc = 9,          ///< PC to resume at after iret
+    numC0Regs = 10,
+};
+
+/**
+ * A decoded instruction. Kept small and trivially copyable: the CPU
+ * decodes on every fetch (instruction words repeat heavily, and decode is
+ * a flat switch).
+ */
+struct Instruction
+{
+    Op op = Op::Invalid;
+    uint8_t rs = 0;
+    uint8_t rt = 0;
+    uint8_t rd = 0;
+    uint8_t shamt = 0;
+    uint16_t imm = 0;     ///< raw 16-bit immediate (I-format)
+    uint32_t target = 0;  ///< 26-bit jump target field (J-format)
+
+    bool valid() const { return op != Op::Invalid; }
+};
+
+/// @name Encoders
+/// Each returns the 32-bit instruction word.
+/// @{
+uint32_t encodeR(Op op, uint8_t rs, uint8_t rt, uint8_t rd,
+                 uint8_t shamt = 0);
+uint32_t encodeI(Op op, uint8_t rs, uint8_t rt, uint16_t imm);
+uint32_t encodeJ(Op op, uint32_t target_word_index);
+/** Encode from a decoded Instruction (inverse of decode()). */
+uint32_t encode(const Instruction &inst);
+/** The canonical no-op (sll r0, r0, 0). */
+uint32_t nopWord();
+/// @}
+
+/// @name Instruction properties
+/// Used by the pipeline model (interlocks, prediction) and the workload
+/// generator (dataflow-safe filler selection).
+/// @{
+bool isLoad(Op op);
+bool isStore(Op op);
+bool isCondBranch(Op op);
+bool isJump(Op op);
+/** Any instruction that can redirect the PC. */
+bool isControl(Op op);
+/** Destination register (0 when none; r0 writes are discarded anyway). */
+uint8_t destReg(const Instruction &inst);
+/** Source registers; returns count (0..2) and fills regs[]. */
+unsigned srcRegs(const Instruction &inst, uint8_t regs[2]);
+/// @}
+
+/** Human-readable mnemonic of an Op. */
+const char *opName(Op op);
+
+} // namespace rtd::isa
+
+#endif // RTDC_ISA_ISA_H

@@ -1,0 +1,279 @@
+#include "isa16/thumb.h"
+
+#include "isa/isa.h"
+#include "program/builder.h"
+#include "support/logging.h"
+
+namespace rtd::isa16 {
+
+using namespace rtd::isa;
+using prog::ProcedureBuilder;
+using prog::SymInst;
+
+namespace {
+
+/**
+ * The eight registers reachable by short encodings. Chosen to cover the
+ * registers hot in generated and hand-written code (MIPS16 uses
+ * v0-v1/a0-a3/t0-t1; our mix leans on t0-t3).
+ */
+bool
+lowReg(uint8_t r)
+{
+    switch (r) {
+      case V0: case V1: case A0: case A1:
+      case T0: case T1: case T2: case T3:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+fitsImm(uint16_t imm, unsigned bits)
+{
+    return imm < (1u << bits);
+}
+
+/** Classification of one instruction under the 16-bit encoding. */
+enum class Form
+{
+    Short,      ///< one 2-byte instruction
+    Extended,   ///< EXTEND prefix: 4 bytes, still one instruction
+    TwoAddr,    ///< needs a move inserted (4 bytes, two instructions)
+    CmpBranch,  ///< two-register branch: xor+bz (4 bytes, two insns)
+    Word,       ///< natively 32-bit (jal), 4 bytes
+};
+
+Form
+classify(const SymInst &si)
+{
+    const Instruction &inst = si.inst;
+    switch (inst.op) {
+      // Natively 32-bit control transfers.
+      case Op::J: case Op::Jal: case Op::Lui:
+        return inst.op == Op::Lui ? Form::Extended : Form::Word;
+
+      // Register jumps.
+      case Op::Jr: case Op::Jalr:
+        return lowReg(inst.rs) ? Form::Short : Form::Extended;
+
+      // Two-register compare-and-branch does not exist in 16-bit ISAs.
+      case Op::Beq: case Op::Bne:
+        if (inst.rs == 0 || inst.rt == 0) {
+            // Already a compare-with-zero.
+            uint8_t reg = inst.rs == 0 ? inst.rt : inst.rs;
+            return lowReg(reg) ? Form::Short : Form::Extended;
+        }
+        return Form::CmpBranch;
+      case Op::Blez: case Op::Bgtz: case Op::Bltz: case Op::Bgez:
+        return lowReg(inst.rs) ? Form::Short : Form::Extended;
+
+      // Three-address add/sub exist (MIPS16 ADDU/SUBU rz,rx,ry).
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+        return lowReg(inst.rd) && lowReg(inst.rs) && lowReg(inst.rt)
+                   ? Form::Short
+                   : Form::Extended;
+
+      // Logical ops are two-address.
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu:
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+        if (!lowReg(inst.rd) || !lowReg(inst.rs) || !lowReg(inst.rt))
+            return Form::Extended;
+        if (inst.rd == inst.rs || inst.rd == inst.rt)
+            return Form::Short;
+        return Form::TwoAddr;
+
+      // Shift-by-immediate: 3-bit shift amounts.
+      case Op::Sll: case Op::Srl: case Op::Sra:
+        return lowReg(inst.rd) && lowReg(inst.rt) && inst.shamt < 8
+                   ? Form::Short
+                   : Form::Extended;
+
+      // Immediate ALU: two-address with 8-bit immediates, plus the
+      // MIPS16 three-address ADDIU ry,rx,imm4 form.
+      case Op::Addi: case Op::Addiu:
+        if (!lowReg(inst.rt) || !lowReg(inst.rs))
+            return Form::Extended;
+        if (inst.rt == inst.rs && fitsImm(inst.imm, 8))
+            return Form::Short;
+        if (fitsImm(inst.imm, 3))
+            return Form::Short;
+        return Form::Extended;
+      case Op::Slti: case Op::Sltiu:
+        return lowReg(inst.rt) && lowReg(inst.rs) &&
+                       inst.rt == inst.rs && fitsImm(inst.imm, 8)
+                   ? Form::Short
+                   : Form::Extended;
+      // 16-bit ISAs have no immediate logicals at all.
+      case Op::Andi: case Op::Ori: case Op::Xori:
+        return Form::Extended;
+
+      // Word memory ops: 5-bit scaled offsets.
+      case Op::Lw: case Op::Sw:
+        return lowReg(inst.rt) && lowReg(inst.rs) &&
+                       (inst.imm & 3) == 0 && fitsImm(inst.imm, 7)
+                   ? Form::Short
+                   : Form::Extended;
+      case Op::Lb: case Op::Lbu: case Op::Lh: case Op::Lhu:
+      case Op::Sb: case Op::Sh:
+        return lowReg(inst.rt) && lowReg(inst.rs) && fitsImm(inst.imm, 5)
+                   ? Form::Short
+                   : Form::Extended;
+
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+        return lowReg(inst.rs) && lowReg(inst.rt) ? Form::Short
+                                                  : Form::Extended;
+      case Op::Mfhi: case Op::Mflo:
+        return lowReg(inst.rd) ? Form::Short : Form::Extended;
+      case Op::Mthi: case Op::Mtlo:
+        return lowReg(inst.rs) ? Form::Short : Form::Extended;
+
+      case Op::Syscall: case Op::Break: case Op::Halt:
+        return Form::Short;
+
+      // System/extension instructions have no 16-bit form.
+      default:
+        return Form::Extended;
+    }
+}
+
+} // namespace
+
+ThumbProcedure
+translateProcedure(const prog::Procedure &proc)
+{
+    ThumbProcedure out;
+    ProcedureBuilder b(proc.name);
+
+    // Labels map 1:1; bindings move with the transformed positions.
+    std::vector<prog::Label> labels(proc.labels.size());
+    for (size_t i = 0; i < labels.size(); ++i)
+        labels[i] = b.newLabel();
+    // Invert: original instruction index -> labels bound there.
+    std::vector<std::vector<prog::Label>> bound_at(proc.code.size() + 1);
+    for (size_t l = 0; l < proc.labels.size(); ++l)
+        bound_at[static_cast<size_t>(proc.labels[l])].push_back(
+            labels[l]);
+
+    auto emit = [&](const SymInst &si) {
+        if (si.label >= 0) {
+            // Re-emit with the remapped label.
+            Instruction inst = si.inst;
+            switch (inst.op) {
+              case Op::Beq:
+                b.beq(inst.rs, inst.rt, labels[si.label]);
+                break;
+              case Op::Bne:
+                b.bne(inst.rs, inst.rt, labels[si.label]);
+                break;
+              case Op::Blez: b.blez(inst.rs, labels[si.label]); break;
+              case Op::Bgtz: b.bgtz(inst.rs, labels[si.label]); break;
+              case Op::Bltz: b.bltz(inst.rs, labels[si.label]); break;
+              case Op::Bgez: b.bgez(inst.rs, labels[si.label]); break;
+              default:
+                panic("unexpected label-bearing op %s",
+                      opName(inst.op));
+            }
+        } else if (si.callee >= 0) {
+            if (si.inst.op == Op::Jal)
+                b.jal(si.callee);
+            else
+                b.j(si.callee);
+        } else {
+            b.emit(si.inst);
+        }
+    };
+
+    for (size_t i = 0; i < proc.code.size(); ++i) {
+        for (prog::Label l : bound_at[i])
+            b.bind(l);
+        const SymInst &si = proc.code[i];
+        Form form = classify(si);
+        switch (form) {
+          case Form::Short:
+            out.sizeBytes += 2;
+            ++out.shortCount;
+            emit(si);
+            break;
+          case Form::Extended:
+          case Form::Word:
+            out.sizeBytes += 4;
+            if (form == Form::Extended)
+                ++out.extendedCount;
+            emit(si);
+            break;
+          case Form::TwoAddr: {
+            // mov rd, rs ; op rd, rd, rt — two short instructions.
+            out.sizeBytes += 4;
+            ++out.insertedCount;
+            b.addu(si.inst.rd, si.inst.rs, Zero);
+            SymInst fixed = si;
+            fixed.inst.rs = si.inst.rd;
+            emit(fixed);
+            break;
+          }
+          case Form::CmpBranch: {
+            // xor at, rs, rt ; beqz/bnez at — two short instructions.
+            out.sizeBytes += 4;
+            ++out.insertedCount;
+            b.xor_(At, si.inst.rs, si.inst.rt);
+            SymInst fixed = si;
+            fixed.inst.rs = At;
+            fixed.inst.rt = Zero;
+            emit(fixed);
+            break;
+          }
+        }
+    }
+    for (prog::Label l : bound_at[proc.code.size()])
+        b.bind(l);
+
+    out.code = b.take();
+    return out;
+}
+
+uint32_t
+ThumbProgram::textBytes16() const
+{
+    uint32_t total = 0;
+    for (uint32_t bytes : procBytes)
+        total += bytes;
+    return total;
+}
+
+ThumbProgram
+translateProgram(const prog::Program &program,
+                 const std::vector<uint8_t> &translate16)
+{
+    std::vector<uint8_t> mask = translate16;
+    if (mask.empty())
+        mask.assign(program.procs.size(), 1);
+    RTDC_ASSERT(mask.size() == program.procs.size(),
+                "translate16 mask size mismatch");
+
+    ThumbProgram out;
+    out.program.name = program.name + ".16";
+    out.program.entry = program.entry;
+    out.program.data = program.data;
+    out.program.dataSize = program.dataSize;
+    out.program.dataRelocs = program.dataRelocs;
+    out.translated = mask;
+    out.procBytes.resize(program.procs.size());
+
+    for (size_t i = 0; i < program.procs.size(); ++i) {
+        if (mask[i]) {
+            ThumbProcedure tp = translateProcedure(program.procs[i]);
+            out.procBytes[i] = tp.sizeBytes;
+            out.program.procs.push_back(std::move(tp.code));
+        } else {
+            out.procBytes[i] = program.procs[i].sizeBytes();
+            out.program.procs.push_back(program.procs[i]);
+        }
+    }
+    out.program.check();
+    return out;
+}
+
+} // namespace rtd::isa16

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A MIPS16/Thumb-style 16-bit re-encoding baseline (paper section 3.3).
+ *
+ * The paper positions selective compression against the dense-ISA
+ * approach of MIPS16 [Kissell97] and Thumb [ARM95]: procedures are
+ * re-encoded into 16-bit instructions, which shrinks them to ~70% but
+ * "typically takes 15%-20% more 16-bit instructions to emulate 32-bit
+ * instructions", so the cost is paid on every *execution* rather than
+ * on every cache *miss*. That difference is exactly why execution-based
+ * selection is right for MIPS16/Thumb and miss-based selection is right
+ * for the paper's decompressors.
+ *
+ * The translator is a program->program transform faithful to the
+ * MIPS16/Thumb restrictions:
+ *  - only eight "low" registers are addressable in short encodings;
+ *  - logical ops are two-address (a register move is inserted when the
+ *    destination is not one of the sources);
+ *  - two-register compare-and-branch does not exist (rewritten to
+ *    xor at,rs,rt + beqz/bnez at, using the assembler-temp register);
+ *  - small immediates/offsets only; anything else needs the 32-bit
+ *    EXTEND form (counted as 4 bytes of code size).
+ *
+ * Static size is accounted per instruction (2 or 4 bytes); the
+ * transformed program still executes on the normal pipeline, so the
+ * execution-time overhead arises from the genuinely inserted
+ * instructions, as on real hardware. The improved I-fetch density of
+ * 16-bit code is not modeled (documented simplification; it would
+ * slightly favor this baseline on high-miss benchmarks).
+ */
+
+#ifndef RTDC_ISA16_THUMB_H
+#define RTDC_ISA16_THUMB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.h"
+
+namespace rtd::isa16 {
+
+/** Result of translating one procedure. */
+struct ThumbProcedure
+{
+    prog::Procedure code;        ///< transformed instruction sequence
+    uint32_t sizeBytes = 0;      ///< 16-bit-encoded size (2/4 per insn)
+    uint32_t shortCount = 0;     ///< instructions in 2-byte form
+    uint32_t extendedCount = 0;  ///< instructions needing EXTEND (4 B)
+    uint32_t insertedCount = 0;  ///< extra instructions (moves, xor)
+};
+
+/** Result of translating a program (possibly selectively). */
+struct ThumbProgram
+{
+    prog::Program program;            ///< runnable transformed program
+    std::vector<uint32_t> procBytes;  ///< 16-bit size metric per proc
+    std::vector<uint8_t> translated;  ///< 1 where re-encoded
+
+    /** Total code size under the 16-bit encoding (the size metric). */
+    uint32_t textBytes16() const;
+};
+
+/** Translate a single procedure to the 16-bit form. */
+ThumbProcedure translateProcedure(const prog::Procedure &proc);
+
+/**
+ * Translate @p program; procedures with @p translate16 set are
+ * re-encoded, the rest stay 32-bit native (the MIPS16/Thumb selective
+ * model). An empty mask re-encodes everything.
+ */
+ThumbProgram translateProgram(const prog::Program &program,
+                              const std::vector<uint8_t> &translate16 = {});
+
+} // namespace rtd::isa16
+
+#endif // RTDC_ISA16_THUMB_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The on-chip exception-handler RAM.
+ *
+ * Paper section 4.1: "our simulations put the exception handler in its own
+ * small on-chip RAM accessed in parallel with the instruction cache", so
+ * the decompressor can never replace itself and never misses. Fetches
+ * from this RAM cost one cycle.
+ */
+
+#ifndef RTDC_MEM_HANDLER_RAM_H
+#define RTDC_MEM_HANDLER_RAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace rtd::mem {
+
+/** Small instruction RAM holding the decompression exception handler. */
+class HandlerRam
+{
+  public:
+    /** Base VA of the handler RAM (top of the address space). */
+    static constexpr uint32_t base = 0xfff00000;
+
+    HandlerRam() = default;
+
+    /** Load the handler program (replaces any previous contents). */
+    void load(const std::vector<uint32_t> &code);
+
+    /** True when @p addr falls inside the loaded handler. */
+    bool contains(uint32_t addr) const;
+
+    /** Fetch the instruction word at @p addr (must be inside). */
+    uint32_t fetch(uint32_t addr) const;
+
+    /** Handler entry point (== base). */
+    uint32_t entry() const { return base; }
+
+    /** Size of the loaded handler in bytes. */
+    uint32_t sizeBytes() const
+    {
+        return static_cast<uint32_t>(code_.size()) * 4;
+    }
+
+    bool loaded() const { return !code_.empty(); }
+
+  private:
+    std::vector<uint32_t> code_;
+};
+
+} // namespace rtd::mem
+
+#endif // RTDC_MEM_HANDLER_RAM_H

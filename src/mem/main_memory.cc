@@ -1,0 +1,94 @@
+#include "mem/main_memory.h"
+
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace rtd::mem {
+
+MainMemory::MainMemory(MemoryTiming timing)
+    : timing_(timing)
+{
+}
+
+MainMemory::Page *
+MainMemory::findPage(uint32_t addr) const
+{
+    auto it = pages_.find(addr >> pageShift);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Page &
+MainMemory::touchPage(uint32_t addr)
+{
+    Page &page = pages_[addr >> pageShift];
+    if (page.empty())
+        page.assign(pageBytes, 0);
+    return page;
+}
+
+uint8_t
+MainMemory::read8(uint32_t addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr & (pageBytes - 1)] : 0;
+}
+
+uint16_t
+MainMemory::read16(uint32_t addr) const
+{
+    RTDC_ASSERT((addr & 1) == 0, "misaligned read16 at 0x%08x", addr);
+    return static_cast<uint16_t>(read8(addr)) |
+           static_cast<uint16_t>(read8(addr + 1)) << 8;
+}
+
+uint32_t
+MainMemory::read32(uint32_t addr) const
+{
+    RTDC_ASSERT((addr & 3) == 0, "misaligned read32 at 0x%08x", addr);
+    const Page *page = findPage(addr);
+    if (!page)
+        return 0;
+    uint32_t off = addr & (pageBytes - 1);
+    uint32_t value;
+    std::memcpy(&value, page->data() + off, 4);
+    return value;
+}
+
+void
+MainMemory::write8(uint32_t addr, uint8_t value)
+{
+    touchPage(addr)[addr & (pageBytes - 1)] = value;
+}
+
+void
+MainMemory::write16(uint32_t addr, uint16_t value)
+{
+    RTDC_ASSERT((addr & 1) == 0, "misaligned write16 at 0x%08x", addr);
+    write8(addr, static_cast<uint8_t>(value));
+    write8(addr + 1, static_cast<uint8_t>(value >> 8));
+}
+
+void
+MainMemory::write32(uint32_t addr, uint32_t value)
+{
+    RTDC_ASSERT((addr & 3) == 0, "misaligned write32 at 0x%08x", addr);
+    Page &page = touchPage(addr);
+    std::memcpy(page.data() + (addr & (pageBytes - 1)), &value, 4);
+}
+
+void
+MainMemory::writeBlock(uint32_t addr, const uint8_t *data, size_t size)
+{
+    for (size_t i = 0; i < size; ++i)
+        write8(addr + static_cast<uint32_t>(i), data[i]);
+}
+
+void
+MainMemory::readBlock(uint32_t addr, uint8_t *data, size_t size) const
+{
+    for (size_t i = 0; i < size; ++i)
+        data[i] = read8(addr + static_cast<uint32_t>(i));
+}
+
+} // namespace rtd::mem

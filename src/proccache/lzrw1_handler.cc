@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The LZRW1 decompression runtime of the procedure-based baseline,
+ * written in rtd assembly.
+ *
+ * Decodes the byte-oriented LZRW1 stream (16-item control words;
+ * literal bytes and 12-bit-offset/4-bit-length copy items) and writes
+ * the decompressed procedure with ordinary stores. Byte-serial work —
+ * roughly 5 dynamic instructions per output byte — is what makes
+ * procedure-granularity decompression so much more expensive per fault
+ * than the paper's 75-instruction cache-line handler.
+ */
+
+#include "proccache/proc_image.h"
+
+#include "mem/handler_ram.h"
+#include "program/builder.h"
+#include "program/linker.h"
+
+namespace rtd::proccache {
+
+using namespace rtd::isa;
+using prog::Label;
+using prog::ProcedureBuilder;
+
+runtime::HandlerBuild
+buildLzrw1Handler()
+{
+    // Register use (shadow register file; nothing is saved):
+    //   r8 : source (compressed stream)   r9 : destination
+    //   r10: destination end              r11: control word
+    //   r12: items left in control group  r13..r15, k1: scratch
+    constexpr uint8_t rSrc = 8;
+    constexpr uint8_t rDst = 9;
+    constexpr uint8_t rEnd = 10;
+    constexpr uint8_t rCtl = 11;
+    constexpr uint8_t rItems = 12;
+    constexpr uint8_t rA = 13;
+    constexpr uint8_t rB = 14;
+    constexpr uint8_t rC = 15;
+
+    ProcedureBuilder b("lzrw1_handler");
+
+    b.mfc0(rSrc, C0Scratch0);   // compressed stream address
+    b.mfc0(rDst, C0Scratch1);   // procedure base VA
+    b.mfc0(rEnd, C0MapBase);    // decompressed byte count
+    b.addu(rEnd, rDst, rEnd);   // end pointer
+
+    Label group = b.newLabel();
+    Label item = b.newLabel();
+    Label literal = b.newLabel();
+    Label next = b.newLabel();
+    Label copy_loop = b.newLabel();
+    Label done = b.newLabel();
+
+    // Per 16-item group: load the little-endian control word.
+    b.bind(group);
+    b.sltu(rC, rDst, rEnd);
+    b.beq(rC, Zero, done);
+    b.lbu(rCtl, 0, rSrc);
+    b.lbu(rC, 1, rSrc);
+    b.sll(rC, rC, 8);
+    b.or_(rCtl, rCtl, rC);
+    b.addiu(rSrc, rSrc, 2);
+    b.addiu(rItems, Zero, 16);
+
+    b.bind(item);
+    b.sltu(rC, rDst, rEnd);
+    b.beq(rC, Zero, done);
+    b.andi(rC, rCtl, 1);
+    b.beq(rC, Zero, literal);
+
+    // Copy item: 2 bytes hold (length-3)<<4 | offset_hi, offset_lo.
+    b.lbu(rA, 0, rSrc);
+    b.lbu(rB, 1, rSrc);
+    b.addiu(rSrc, rSrc, 2);
+    b.srl(rC, rA, 4);
+    b.addiu(rC, rC, 3);         // length
+    b.andi(rA, rA, 0x0f);
+    b.sll(rA, rA, 8);
+    b.or_(rA, rA, rB);          // offset
+    b.subu(rA, rDst, rA);       // copy source inside the output
+    b.bind(copy_loop);
+    b.lbu(rB, 0, rA);
+    b.addiu(rA, rA, 1);
+    b.sb(rB, 0, rDst);
+    b.addiu(rDst, rDst, 1);
+    b.addiu(rC, rC, -1);
+    b.bgtz(rC, copy_loop);
+    b.b(next);
+
+    // Literal byte.
+    b.bind(literal);
+    b.lbu(rC, 0, rSrc);
+    b.addiu(rSrc, rSrc, 1);
+    b.sb(rC, 0, rDst);
+    b.addiu(rDst, rDst, 1);
+
+    b.bind(next);
+    b.srl(rCtl, rCtl, 1);
+    b.addiu(rItems, rItems, -1);
+    b.bgtz(rItems, item);
+    b.b(group);
+
+    b.bind(done);
+    b.iret();
+
+    runtime::HandlerBuild out;
+    out.code = prog::assembleProcedure(b.take(), mem::HandlerRam::base);
+    out.usesShadowRegs = true;
+    return out;
+}
+
+} // namespace rtd::proccache

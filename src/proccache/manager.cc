@@ -1,0 +1,156 @@
+#include "proccache/manager.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace rtd::proccache {
+
+ProcCacheManager::ProcCacheManager(uint32_t capacity, size_t num_procs)
+    : capacity_(capacity), residency_(num_procs, 0)
+{
+    RTDC_ASSERT(capacity > 0, "empty procedure cache");
+    blocks_.push_back(Block{-1, 0, capacity, 0});
+}
+
+bool
+ProcCacheManager::resident(int32_t proc) const
+{
+    return proc >= 0 &&
+           static_cast<size_t>(proc) < residency_.size() &&
+           residency_[proc];
+}
+
+void
+ProcCacheManager::touch(int32_t proc)
+{
+    for (Block &block : blocks_) {
+        if (block.proc == proc) {
+            block.lastUse = ++useClock_;
+            return;
+        }
+    }
+    panic("touch of non-resident procedure %d", proc);
+}
+
+void
+ProcCacheManager::coalesce()
+{
+    std::vector<Block> merged;
+    for (const Block &block : blocks_) {
+        if (!merged.empty() && merged.back().proc == -1 &&
+            block.proc == -1) {
+            merged.back().size += block.size;
+        } else {
+            merged.push_back(block);
+        }
+    }
+    blocks_ = std::move(merged);
+}
+
+int
+ProcCacheManager::findFree(uint32_t size) const
+{
+    // Best fit: the smallest free block that holds the request.
+    int best = -1;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].proc == -1 && blocks_[i].size >= size &&
+            (best < 0 ||
+             blocks_[i].size < blocks_[static_cast<size_t>(best)].size)) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+uint32_t
+ProcCacheManager::compact()
+{
+    uint32_t moved = 0;
+    uint32_t cursor = 0;
+    std::vector<Block> packed;
+    for (const Block &block : blocks_) {
+        if (block.proc == -1)
+            continue;
+        Block b = block;
+        if (b.offset != cursor)
+            moved += b.size;  // this procedure's bytes are copied
+        b.offset = cursor;
+        cursor += b.size;
+        packed.push_back(b);
+    }
+    if (cursor < capacity_)
+        packed.push_back(Block{-1, cursor, capacity_ - cursor, 0});
+    blocks_ = std::move(packed);
+    ++compactions_;
+    bytesCompacted_ += moved;
+    return moved;
+}
+
+int32_t
+ProcCacheManager::evictLru()
+{
+    int victim = -1;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].proc >= 0 &&
+            (victim < 0 ||
+             blocks_[i].lastUse <
+                 blocks_[static_cast<size_t>(victim)].lastUse)) {
+            victim = static_cast<int>(i);
+        }
+    }
+    RTDC_ASSERT(victim >= 0, "eviction from an empty procedure cache");
+    Block &block = blocks_[static_cast<size_t>(victim)];
+    int32_t proc = block.proc;
+    residency_[proc] = 0;
+    bytesResident_ -= block.size;
+    block.proc = -1;
+    block.lastUse = 0;
+    ++evictions_;
+    coalesce();
+    return proc;
+}
+
+AllocResult
+ProcCacheManager::allocate(int32_t proc, uint32_t size)
+{
+    RTDC_ASSERT(proc >= 0 &&
+                static_cast<size_t>(proc) < residency_.size(),
+                "allocate of unknown procedure %d", proc);
+    RTDC_ASSERT(!residency_[proc], "procedure %d already resident", proc);
+    if (size > capacity_) {
+        // The scheme's structural requirement (paper section 2): the
+        // procedure cache must hold the largest procedure.
+        fatal("procedure cache (%u B) smaller than procedure (%u B)",
+              capacity_, size);
+    }
+    ++faults_;
+    AllocResult result;
+    while (true) {
+        int free_idx = findFree(size);
+        if (free_idx >= 0) {
+            Block &free_block = blocks_[static_cast<size_t>(free_idx)];
+            Block used{proc, free_block.offset, size, ++useClock_};
+            if (free_block.size == size) {
+                free_block = used;
+            } else {
+                free_block.offset += size;
+                free_block.size -= size;
+                blocks_.insert(
+                    blocks_.begin() + free_idx, used);
+            }
+            residency_[proc] = 1;
+            bytesResident_ += size;
+            return result;
+        }
+        // Enough total free space but fragmented? Compact.
+        if (capacity_ - bytesResident_ >= size) {
+            result.bytesCompacted += compact();
+            continue;
+        }
+        // Otherwise evict the LRU procedure and retry.
+        result.evicted.push_back(evictLru());
+    }
+}
+
+} // namespace rtd::proccache

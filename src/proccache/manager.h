@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The software procedure-cache manager (the Kirovski et al. baseline's
+ * bookkeeping): a fixed-capacity arena holding whole decompressed
+ * procedures, with LRU eviction and compaction.
+ *
+ * This models the allocator/defragmentation side of procedure-based
+ * decompression; the decompression work itself is executed as real
+ * handler instructions (see proc_image.h). The arena offsets are
+ * bookkeeping — decompressed code lives at its fixed virtual address —
+ * but the *costs* the arena imposes (earlier evictions under
+ * fragmentation, bytes copied by compaction) are what the paper's
+ * cache-line scheme is designed to avoid, and they are charged to the
+ * simulation by the CPU.
+ */
+
+#ifndef RTDC_PROCCACHE_MANAGER_H
+#define RTDC_PROCCACHE_MANAGER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtd::proccache {
+
+/** Configuration of the software procedure cache. */
+struct ProcCacheConfig
+{
+    uint32_t capacityBytes = 64 * 1024;
+    /** Fixed dispatcher overhead per fault (table lookup, allocation). */
+    uint32_t dispatchCycles = 50;
+};
+
+/** Result of allocating space for one procedure. */
+struct AllocResult
+{
+    std::vector<int32_t> evicted;  ///< procedure ids displaced
+    uint32_t bytesCompacted = 0;   ///< bytes moved by defragmentation
+};
+
+/** Fixed-capacity arena with per-procedure LRU and compaction. */
+class ProcCacheManager
+{
+  public:
+    /**
+     * @param capacity arena size in bytes
+     * @param num_procs procedure count (ids are 0..num_procs-1)
+     */
+    ProcCacheManager(uint32_t capacity, size_t num_procs);
+
+    bool resident(int32_t proc) const;
+
+    /** LRU touch on every fetch into a resident procedure. */
+    void touch(int32_t proc);
+
+    /**
+     * Make room for @p proc (@p size bytes) and mark it resident.
+     * Evicts LRU procedures while space is short and compacts when the
+     * free space is sufficient but fragmented. The procedure must fit
+     * the arena (the paper notes this requirement of the scheme).
+     */
+    AllocResult allocate(int32_t proc, uint32_t size);
+
+    /// @name Statistics
+    /// @{
+    uint64_t faults() const { return faults_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t compactions() const { return compactions_; }
+    uint64_t bytesCompacted() const { return bytesCompacted_; }
+    uint32_t bytesResident() const { return bytesResident_; }
+    /// @}
+
+  private:
+    struct Block
+    {
+        int32_t proc = -1;  ///< -1 = free
+        uint32_t offset = 0;
+        uint32_t size = 0;
+        uint64_t lastUse = 0;
+    };
+
+    /** Merge adjacent free blocks. */
+    void coalesce();
+    /** Index of the best free block >= size, or -1. */
+    int findFree(uint32_t size) const;
+    /** Slide resident blocks down, making free space contiguous. */
+    uint32_t compact();
+    /** Evict the LRU resident procedure. @return its id. */
+    int32_t evictLru();
+
+    uint32_t capacity_;
+    std::vector<Block> blocks_;     ///< ordered by offset
+    std::vector<int8_t> residency_; ///< per-procedure flag
+    uint64_t useClock_ = 0;
+    uint32_t bytesResident_ = 0;
+    uint64_t faults_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t compactions_ = 0;
+    uint64_t bytesCompacted_ = 0;
+};
+
+} // namespace rtd::proccache
+
+#endif // RTDC_PROCCACHE_MANAGER_H

@@ -1,0 +1,69 @@
+#include "proccache/proc_image.h"
+
+#include "compress/lzrw1.h"
+#include "program/program.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::proccache {
+
+ProcCompressedImage
+compressProcedures(const prog::LoadedImage &image)
+{
+    RTDC_ASSERT(!image.decompText.empty() && image.nativeText.empty(),
+                "procedure compression expects a fully compressed link");
+
+    ProcCompressedImage out;
+    out.memory.scheme = compress::Scheme::None;  // not a line scheme
+
+    // Streams segment, byte-concatenated per procedure.
+    compress::CompressedSegment streams;
+    streams.name = ".procstreams";
+    streams.base = prog::layout::compressedBase;
+
+    for (const prog::LinkedProc &proc : image.procs) {
+        // Extract the procedure's native bytes from the linked image.
+        std::vector<uint8_t> native(proc.size);
+        for (uint32_t off = 0; off < proc.size; off += 4) {
+            uint32_t word =
+                image.decompText[(proc.base - image.decompBase + off) / 4];
+            native[off] = static_cast<uint8_t>(word);
+            native[off + 1] = static_cast<uint8_t>(word >> 8);
+            native[off + 2] = static_cast<uint8_t>(word >> 16);
+            native[off + 3] = static_cast<uint8_t>(word >> 24);
+        }
+        std::vector<uint8_t> stream = compress::Lzrw1::compress(native);
+
+        ProcEntry entry;
+        entry.vaBase = proc.base;
+        entry.origBytes = proc.size;
+        entry.streamAddr =
+            streams.base + static_cast<uint32_t>(streams.bytes.size());
+        entry.compressedBytes = static_cast<uint32_t>(stream.size());
+        out.entries.push_back(entry);
+        streams.bytes.insert(streams.bytes.end(), stream.begin(),
+                             stream.end());
+    }
+
+    // Procedure table: 16 bytes per entry (va, orig, stream, size) —
+    // the ROM-side metadata the dispatcher reads.
+    compress::CompressedSegment table;
+    table.name = ".proctable";
+    table.base = static_cast<uint32_t>(
+        alignUp(streams.base + streams.bytes.size(), 8));
+    for (const ProcEntry &entry : out.entries) {
+        for (uint32_t field : {entry.vaBase, entry.origBytes,
+                               entry.streamAddr, entry.compressedBytes}) {
+            table.bytes.push_back(static_cast<uint8_t>(field));
+            table.bytes.push_back(static_cast<uint8_t>(field >> 8));
+            table.bytes.push_back(static_cast<uint8_t>(field >> 16));
+            table.bytes.push_back(static_cast<uint8_t>(field >> 24));
+        }
+    }
+
+    out.memory.segments.push_back(std::move(streams));
+    out.memory.segments.push_back(std::move(table));
+    return out;
+}
+
+} // namespace rtd::proccache

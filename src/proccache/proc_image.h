@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Procedure-based compression (the Kirovski et al. baseline the paper
+ * compares against in sections 2 and 5.2).
+ *
+ * Every procedure is compressed separately with LZRW1 ([Williams91],
+ * the algorithm Kirovski et al. use) and stored in ROM together with a
+ * procedure table. At run time a software-managed *procedure cache*
+ * holds whole decompressed procedures: the first fetch into a
+ * non-resident procedure raises a fault, the LZRW1 runtime decompresses
+ * the entire procedure (through the D-cache, followed by the coherence
+ * flush an I-side consumer requires), and an arena allocator provides
+ * space — evicting LRU procedures and compacting free space when
+ * fragmented, the costs the paper's cache-line scheme avoids by
+ * construction.
+ */
+
+#ifndef RTDC_PROCCACHE_PROC_IMAGE_H
+#define RTDC_PROCCACHE_PROC_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/compressed_image.h"
+#include "program/linker.h"
+#include "runtime/handlers.h"
+
+namespace rtd::proccache {
+
+/** ROM-side record of one compressed procedure. */
+struct ProcEntry
+{
+    uint32_t vaBase = 0;           ///< procedure's virtual address
+    uint32_t origBytes = 0;        ///< decompressed size
+    uint32_t streamAddr = 0;       ///< compressed stream VA in ROM
+    uint32_t compressedBytes = 0;
+};
+
+/** The whole procedure-compressed program image. */
+struct ProcCompressedImage
+{
+    std::vector<ProcEntry> entries;     ///< indexed like image.procs
+    compress::CompressedImage memory;   ///< segments to place in ROM
+
+    /** Total compressed payload (streams + procedure table). */
+    uint32_t compressedBytes() const
+    {
+        return memory.compressedBytes();
+    }
+};
+
+/**
+ * Compress every procedure of a linked image (fully "compressed" link:
+ * all procedures in the decompressed region) with LZRW1.
+ *
+ * Incompressible procedures are stored verbatim-as-stream (LZRW1 output
+ * can exceed the input; the entry records both sizes and the runtime
+ * handles it transparently since decompression is driven by origBytes).
+ */
+ProcCompressedImage compressProcedures(const prog::LoadedImage &image);
+
+/**
+ * The LZRW1 decompression runtime, in rtd assembly. Inputs arrive in
+ * c0 scratch registers (set by the fault dispatcher):
+ *   c0[Scratch0] = compressed stream address
+ *   c0[Scratch1] = destination (the procedure's VA)
+ *   c0[MapBase]  = decompressed byte count
+ * The handler writes the output with ordinary stores (through the
+ * D-cache); the CPU performs the coherence flush on return. Runs on the
+ * shadow register file.
+ */
+runtime::HandlerBuild buildLzrw1Handler();
+
+} // namespace rtd::proccache
+
+#endif // RTDC_PROCCACHE_PROC_IMAGE_H

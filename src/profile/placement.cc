@@ -1,0 +1,119 @@
+#include "profile/placement.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/logging.h"
+
+namespace rtd::profile {
+
+std::vector<int32_t>
+affinityOrder(size_t num_procs, const TransitionCounts &transitions)
+{
+    // Symmetrize the transition graph: adjacency benefits both
+    // directions of a transfer.
+    std::unordered_map<uint64_t, uint64_t> weight;
+    weight.reserve(transitions.size());
+    for (const auto &[key, count] : transitions) {
+        auto [from, to] = transitionPair(key);
+        if (from == to)
+            continue;
+        int32_t a = std::min(from, to);
+        int32_t b = std::max(from, to);
+        weight[transitionKey(a, b)] += count;
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> edges(weight.begin(),
+                                                     weight.end());
+    std::sort(edges.begin(), edges.end(),
+              [](const auto &x, const auto &y) {
+                  if (x.second != y.second)
+                      return x.second > y.second;
+                  return x.first < y.first;  // deterministic tie break
+              });
+
+    // Union of doubly-linked chains: chain[i] = {prev, next}; a
+    // procedure is an end when prev or next is -1.
+    std::vector<int32_t> prev(num_procs, -1);
+    std::vector<int32_t> next(num_procs, -1);
+    // Chain representative for cycle avoidance (union-find).
+    std::vector<int32_t> parent(num_procs);
+    for (size_t i = 0; i < num_procs; ++i)
+        parent[i] = static_cast<int32_t>(i);
+    std::function<int32_t(int32_t)> find = [&](int32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (const auto &[key, count] : edges) {
+        auto [a, b] = transitionPair(key);
+        if (find(a) == find(b))
+            continue;  // same chain: joining would make a cycle
+        // Merge only at chain ends; flip ends so a's tail meets b's
+        // head when possible.
+        bool a_head = prev[a] == -1;
+        bool a_tail = next[a] == -1;
+        bool b_head = prev[b] == -1;
+        bool b_tail = next[b] == -1;
+        if (!(a_head || a_tail) || !(b_head || b_tail))
+            continue;  // both endpoints interior: skip (greedy PH)
+        if (a_tail && b_head) {
+            next[a] = b;
+            prev[b] = a;
+        } else if (b_tail && a_head) {
+            next[b] = a;
+            prev[a] = b;
+        } else if (a_tail && b_tail) {
+            // Reverse b's chain so its tail becomes a head.
+            int32_t cur = b;
+            int32_t p = next[cur];  // == -1
+            while (cur != -1) {
+                int32_t nxt = prev[cur];
+                prev[cur] = p;
+                next[cur] = nxt;
+                p = cur;
+                cur = nxt;
+            }
+            next[a] = b;
+            prev[b] = a;
+        } else {  // a_head && b_head
+            // Reverse a's chain so its head becomes a tail.
+            int32_t cur = a;
+            int32_t n = prev[cur];  // == -1
+            while (cur != -1) {
+                int32_t nxt = next[cur];
+                next[cur] = n;
+                prev[cur] = nxt;
+                n = cur;
+                cur = nxt;
+            }
+            next[a] = b;
+            prev[b] = a;
+        }
+        parent[find(a)] = find(b);
+    }
+
+    // Emit chains: order chain heads by the smallest original index in
+    // the chain (deterministic), then append untouched procedures.
+    std::vector<int32_t> order;
+    order.reserve(num_procs);
+    std::vector<int8_t> emitted(num_procs, 0);
+    for (size_t i = 0; i < num_procs; ++i) {
+        auto idx = static_cast<int32_t>(i);
+        if (emitted[i] || prev[idx] != -1)
+            continue;  // not a chain head
+        for (int32_t cur = idx; cur != -1; cur = next[cur]) {
+            RTDC_ASSERT(!emitted[cur], "cycle in placement chains");
+            order.push_back(cur);
+            emitted[cur] = 1;
+        }
+    }
+    RTDC_ASSERT(order.size() == num_procs,
+                "placement dropped procedures (%zu of %zu)",
+                order.size(), num_procs);
+    return order;
+}
+
+} // namespace rtd::profile

@@ -1,0 +1,56 @@
+#include "profile/profile.h"
+
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace rtd::profile {
+
+uint64_t
+ProcedureProfile::totalExec() const
+{
+    return std::accumulate(execInsns.begin(), execInsns.end(),
+                           uint64_t{0});
+}
+
+uint64_t
+ProcedureProfile::totalMisses() const
+{
+    return std::accumulate(missCounts.begin(), missCounts.end(),
+                           uint64_t{0});
+}
+
+ProcedureProfile
+remapProfile(const prog::LoadedImage &image,
+             const std::vector<uint64_t> &exec_by_linked,
+             const std::vector<uint64_t> &miss_by_linked,
+             const TransitionCounts &trans_by_linked)
+{
+    RTDC_ASSERT(exec_by_linked.size() == image.procs.size() &&
+                miss_by_linked.size() == image.procs.size(),
+                "profile size mismatch");
+    ProcedureProfile out;
+    out.execInsns.assign(image.procs.size(), 0);
+    out.missCounts.assign(image.procs.size(), 0);
+    for (size_t i = 0; i < image.procs.size(); ++i) {
+        int32_t prog_idx = image.procs[i].progIndex;
+        RTDC_ASSERT(prog_idx >= 0 &&
+                    static_cast<size_t>(prog_idx) < image.procs.size(),
+                    "bad progIndex in linked image");
+        out.execInsns[prog_idx] = exec_by_linked[i];
+        out.missCounts[prog_idx] = miss_by_linked[i];
+    }
+    for (const auto &[key, count] : trans_by_linked) {
+        auto [from, to] = transitionPair(key);
+        RTDC_ASSERT(from >= 0 && to >= 0 &&
+                    static_cast<size_t>(from) < image.procs.size() &&
+                    static_cast<size_t>(to) < image.procs.size(),
+                    "bad transition indices");
+        out.transitions[transitionKey(image.procs[from].progIndex,
+                                      image.procs[to].progIndex)] +=
+            count;
+    }
+    return out;
+}
+
+} // namespace rtd::profile

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-procedure profiles for selective compression (paper section 3.3).
+ *
+ * A profile records, for every procedure of a Program, the number of
+ * dynamic instructions it executed and the number of non-speculative
+ * instruction-cache misses it caused during a profiling run of the
+ * original (fully native) program.
+ */
+
+#ifndef RTDC_PROFILE_PROFILE_H
+#define RTDC_PROFILE_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "program/linker.h"
+
+namespace rtd::profile {
+
+/**
+ * Dynamic control transfers between procedures: key packs (from, to)
+ * procedure indices, value counts transitions. The raw material of
+ * affinity-based code placement (Pettis & Hansen style).
+ */
+using TransitionCounts = std::unordered_map<uint64_t, uint64_t>;
+
+/** Pack a (from, to) procedure pair into a TransitionCounts key. */
+constexpr uint64_t
+transitionKey(int32_t from, int32_t to)
+{
+    return static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32 |
+           static_cast<uint32_t>(to);
+}
+
+/** Unpack a TransitionCounts key. */
+constexpr std::pair<int32_t, int32_t>
+transitionPair(uint64_t key)
+{
+    return {static_cast<int32_t>(key >> 32),
+            static_cast<int32_t>(static_cast<uint32_t>(key))};
+}
+
+/** Profile of one program, indexed by Program procedure index. */
+struct ProcedureProfile
+{
+    std::vector<uint64_t> execInsns;   ///< dynamic instructions
+    std::vector<uint64_t> missCounts;  ///< non-speculative I-misses
+    TransitionCounts transitions;      ///< inter-procedure transfers
+
+    uint64_t totalExec() const;
+    uint64_t totalMisses() const;
+};
+
+/**
+ * Remap per-LinkedProc counters (as collected by the Cpu, indexed in
+ * address order) to Program procedure order.
+ */
+ProcedureProfile remapProfile(const prog::LoadedImage &image,
+                              const std::vector<uint64_t> &exec_by_linked,
+                              const std::vector<uint64_t> &miss_by_linked,
+                              const TransitionCounts &trans_by_linked = {});
+
+} // namespace rtd::profile
+
+#endif // RTDC_PROFILE_PROFILE_H

@@ -1,0 +1,63 @@
+#include "profile/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace rtd::profile {
+
+const char *
+policyName(SelectionPolicy policy)
+{
+    switch (policy) {
+      case SelectionPolicy::ExecutionBased: return "exec";
+      case SelectionPolicy::MissBased: return "miss";
+    }
+    return "?";
+}
+
+std::vector<prog::Region>
+selectNative(const ProcedureProfile &profile, SelectionPolicy policy,
+             double threshold)
+{
+    RTDC_ASSERT(threshold >= 0.0 && threshold <= 1.0,
+                "selection threshold %.2f out of range", threshold);
+    const std::vector<uint64_t> &metric =
+        policy == SelectionPolicy::ExecutionBased ? profile.execInsns
+                                                  : profile.missCounts;
+    size_t n = metric.size();
+    std::vector<prog::Region> regions(n, prog::Region::Compressed);
+    if (threshold == 0.0)
+        return regions;
+
+    uint64_t total =
+        std::accumulate(metric.begin(), metric.end(), uint64_t{0});
+    if (total == 0)
+        return regions;  // nothing to rank; compress everything
+
+    // Rank by metric descending; ties broken by procedure index for
+    // determinism.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (metric[a] != metric[b])
+            return metric[a] > metric[b];
+        return a < b;
+    });
+
+    uint64_t covered = 0;
+    auto goal = static_cast<uint64_t>(threshold *
+                                      static_cast<double>(total));
+    for (size_t idx : order) {
+        if (covered >= goal && covered > 0)
+            break;
+        if (metric[idx] == 0)
+            break;  // remaining procedures contribute nothing
+        regions[idx] = prog::Region::Native;
+        covered += metric[idx];
+    }
+    return regions;
+}
+
+} // namespace rtd::profile

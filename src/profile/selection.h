@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Selective-compression policies (paper sections 3.3 and 4.2).
+ *
+ * Execution-based selection sorts procedures by dynamic instruction
+ * count (as MIPS16/Thumb systems do); miss-based selection sorts by
+ * non-speculative I-cache miss count, which models the cost of the
+ * cache-miss decompression path directly. Selection proceeds down the
+ * sorted list until the chosen procedures account for the requested
+ * fraction of the total metric (the paper uses 5/10/15/20/50%); chosen
+ * procedures stay native, the rest are compressed.
+ */
+
+#ifndef RTDC_PROFILE_SELECTION_H
+#define RTDC_PROFILE_SELECTION_H
+
+#include <vector>
+
+#include "profile/profile.h"
+#include "program/linker.h"
+
+namespace rtd::profile {
+
+/** Which profile drives the selection. */
+enum class SelectionPolicy
+{
+    ExecutionBased,  ///< procedures with the most dynamic instructions
+    MissBased,       ///< procedures with the most I-cache misses
+};
+
+const char *policyName(SelectionPolicy policy);
+
+/** The paper's selection thresholds (fractions of the total metric). */
+inline constexpr double selectionThresholds[] = {0.05, 0.10, 0.15, 0.20,
+                                                 0.50};
+
+/**
+ * Compute a region assignment: the most costly procedures (by the chosen
+ * policy) are kept native until they account for at least
+ * @p threshold of the total metric; everything else is compressed.
+ *
+ * @param profile   per-procedure profile of the original program
+ * @param policy    metric to rank by
+ * @param threshold fraction of the total metric to cover, in [0, 1];
+ *                  0 yields a fully compressed program
+ */
+std::vector<prog::Region> selectNative(const ProcedureProfile &profile,
+                                       SelectionPolicy policy,
+                                       double threshold);
+
+} // namespace rtd::profile
+
+#endif // RTDC_PROFILE_SELECTION_H

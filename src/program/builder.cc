@@ -1,0 +1,307 @@
+#include "program/builder.h"
+
+#include "support/logging.h"
+
+namespace rtd::prog {
+
+using isa::Instruction;
+using isa::Op;
+
+ProcedureBuilder::ProcedureBuilder(std::string name)
+{
+    proc_.name = std::move(name);
+}
+
+Procedure
+ProcedureBuilder::take()
+{
+    for (size_t i = 0; i < proc_.labels.size(); ++i) {
+        RTDC_ASSERT(proc_.labels[i] >= 0,
+                    "label %zu in '%s' never bound", i,
+                    proc_.name.c_str());
+    }
+    Procedure out = std::move(proc_);
+    proc_ = Procedure{};
+    return out;
+}
+
+Label
+ProcedureBuilder::newLabel()
+{
+    proc_.labels.push_back(-1);
+    return static_cast<Label>(proc_.labels.size()) - 1;
+}
+
+void
+ProcedureBuilder::bind(Label label)
+{
+    RTDC_ASSERT(label >= 0 &&
+                label < static_cast<Label>(proc_.labels.size()),
+                "bind of unknown label %d", label);
+    RTDC_ASSERT(proc_.labels[label] == -1, "label %d bound twice", label);
+    proc_.labels[label] = static_cast<int32_t>(proc_.code.size());
+}
+
+void
+ProcedureBuilder::push(const Instruction &inst, Label label, int32_t callee)
+{
+    SymInst si;
+    si.inst = inst;
+    si.label = label;
+    si.callee = callee;
+    proc_.code.push_back(si);
+}
+
+namespace {
+
+Instruction
+r3(Op op, uint8_t rd, uint8_t rs, uint8_t rt)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    return i;
+}
+
+Instruction
+iImm(Op op, uint8_t rt, uint8_t rs, uint16_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rt = rt;
+    i.rs = rs;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+void ProcedureBuilder::addu(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Addu, rd, rs, rt)); }
+void ProcedureBuilder::add(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Add, rd, rs, rt)); }
+void ProcedureBuilder::subu(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Subu, rd, rs, rt)); }
+void ProcedureBuilder::sub(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Sub, rd, rs, rt)); }
+void ProcedureBuilder::and_(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::And, rd, rs, rt)); }
+void ProcedureBuilder::or_(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Or, rd, rs, rt)); }
+void ProcedureBuilder::xor_(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Xor, rd, rs, rt)); }
+void ProcedureBuilder::nor(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Nor, rd, rs, rt)); }
+void ProcedureBuilder::slt(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Slt, rd, rs, rt)); }
+void ProcedureBuilder::sltu(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Sltu, rd, rs, rt)); }
+void ProcedureBuilder::sllv(uint8_t rd, uint8_t rt, uint8_t rs)
+{ push(r3(Op::Sllv, rd, rs, rt)); }
+void ProcedureBuilder::srlv(uint8_t rd, uint8_t rt, uint8_t rs)
+{ push(r3(Op::Srlv, rd, rs, rt)); }
+void ProcedureBuilder::srav(uint8_t rd, uint8_t rt, uint8_t rs)
+{ push(r3(Op::Srav, rd, rs, rt)); }
+
+void
+ProcedureBuilder::sll(uint8_t rd, uint8_t rt, uint8_t shamt)
+{
+    Instruction i;
+    i.op = Op::Sll;
+    i.rd = rd;
+    i.rt = rt;
+    i.shamt = shamt;
+    push(i);
+}
+
+void
+ProcedureBuilder::srl(uint8_t rd, uint8_t rt, uint8_t shamt)
+{
+    Instruction i;
+    i.op = Op::Srl;
+    i.rd = rd;
+    i.rt = rt;
+    i.shamt = shamt;
+    push(i);
+}
+
+void
+ProcedureBuilder::sra(uint8_t rd, uint8_t rt, uint8_t shamt)
+{
+    Instruction i;
+    i.op = Op::Sra;
+    i.rd = rd;
+    i.rt = rt;
+    i.shamt = shamt;
+    push(i);
+}
+
+void
+ProcedureBuilder::nop()
+{
+    sll(0, 0, 0);
+}
+
+void ProcedureBuilder::mult(uint8_t rs, uint8_t rt)
+{ push(r3(Op::Mult, 0, rs, rt)); }
+void ProcedureBuilder::multu(uint8_t rs, uint8_t rt)
+{ push(r3(Op::Multu, 0, rs, rt)); }
+void ProcedureBuilder::div(uint8_t rs, uint8_t rt)
+{ push(r3(Op::Div, 0, rs, rt)); }
+void ProcedureBuilder::divu(uint8_t rs, uint8_t rt)
+{ push(r3(Op::Divu, 0, rs, rt)); }
+void ProcedureBuilder::mfhi(uint8_t rd)
+{ push(r3(Op::Mfhi, rd, 0, 0)); }
+void ProcedureBuilder::mflo(uint8_t rd)
+{ push(r3(Op::Mflo, rd, 0, 0)); }
+void ProcedureBuilder::mthi(uint8_t rs)
+{ push(r3(Op::Mthi, 0, rs, 0)); }
+void ProcedureBuilder::mtlo(uint8_t rs)
+{ push(r3(Op::Mtlo, 0, rs, 0)); }
+
+void ProcedureBuilder::addiu(uint8_t rt, uint8_t rs, int16_t imm)
+{ push(iImm(Op::Addiu, rt, rs, static_cast<uint16_t>(imm))); }
+void ProcedureBuilder::addi(uint8_t rt, uint8_t rs, int16_t imm)
+{ push(iImm(Op::Addi, rt, rs, static_cast<uint16_t>(imm))); }
+void ProcedureBuilder::slti(uint8_t rt, uint8_t rs, int16_t imm)
+{ push(iImm(Op::Slti, rt, rs, static_cast<uint16_t>(imm))); }
+void ProcedureBuilder::sltiu(uint8_t rt, uint8_t rs, int16_t imm)
+{ push(iImm(Op::Sltiu, rt, rs, static_cast<uint16_t>(imm))); }
+void ProcedureBuilder::andi(uint8_t rt, uint8_t rs, uint16_t imm)
+{ push(iImm(Op::Andi, rt, rs, imm)); }
+void ProcedureBuilder::ori(uint8_t rt, uint8_t rs, uint16_t imm)
+{ push(iImm(Op::Ori, rt, rs, imm)); }
+void ProcedureBuilder::xori(uint8_t rt, uint8_t rs, uint16_t imm)
+{ push(iImm(Op::Xori, rt, rs, imm)); }
+void ProcedureBuilder::lui(uint8_t rt, uint16_t imm)
+{ push(iImm(Op::Lui, rt, 0, imm)); }
+
+void
+ProcedureBuilder::li32(uint8_t rt, uint32_t value)
+{
+    lui(rt, static_cast<uint16_t>(value >> 16));
+    if ((value & 0xffffu) != 0)
+        ori(rt, rt, static_cast<uint16_t>(value & 0xffffu));
+}
+
+void ProcedureBuilder::lw(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Lw, rt, base, static_cast<uint16_t>(offset))); }
+void ProcedureBuilder::lh(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Lh, rt, base, static_cast<uint16_t>(offset))); }
+void ProcedureBuilder::lhu(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Lhu, rt, base, static_cast<uint16_t>(offset))); }
+void ProcedureBuilder::lb(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Lb, rt, base, static_cast<uint16_t>(offset))); }
+void ProcedureBuilder::lbu(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Lbu, rt, base, static_cast<uint16_t>(offset))); }
+void ProcedureBuilder::lwx(uint8_t rd, uint8_t rs, uint8_t rt)
+{ push(r3(Op::Lwx, rd, rs, rt)); }
+void ProcedureBuilder::sw(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Sw, rt, base, static_cast<uint16_t>(offset))); }
+void ProcedureBuilder::sh(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Sh, rt, base, static_cast<uint16_t>(offset))); }
+void ProcedureBuilder::sb(uint8_t rt, int16_t offset, uint8_t base)
+{ push(iImm(Op::Sb, rt, base, static_cast<uint16_t>(offset))); }
+
+void ProcedureBuilder::beq(uint8_t rs, uint8_t rt, Label label)
+{ push(iImm(Op::Beq, rt, rs, 0), label); }
+void ProcedureBuilder::bne(uint8_t rs, uint8_t rt, Label label)
+{ push(iImm(Op::Bne, rt, rs, 0), label); }
+void ProcedureBuilder::blez(uint8_t rs, Label label)
+{ push(iImm(Op::Blez, 0, rs, 0), label); }
+void ProcedureBuilder::bgtz(uint8_t rs, Label label)
+{ push(iImm(Op::Bgtz, 0, rs, 0), label); }
+void ProcedureBuilder::bltz(uint8_t rs, Label label)
+{ push(iImm(Op::Bltz, 0, rs, 0), label); }
+void ProcedureBuilder::bgez(uint8_t rs, Label label)
+{ push(iImm(Op::Bgez, 0, rs, 0), label); }
+
+void
+ProcedureBuilder::b(Label label)
+{
+    beq(0, 0, label);
+}
+
+void
+ProcedureBuilder::jal(int32_t callee)
+{
+    Instruction i;
+    i.op = Op::Jal;
+    push(i, -1, callee);
+}
+
+void
+ProcedureBuilder::j(int32_t callee)
+{
+    Instruction i;
+    i.op = Op::J;
+    push(i, -1, callee);
+}
+
+void
+ProcedureBuilder::jr(uint8_t rs)
+{
+    push(r3(Op::Jr, 0, rs, 0));
+}
+
+void
+ProcedureBuilder::jalr(uint8_t rd, uint8_t rs)
+{
+    push(r3(Op::Jalr, rd, rs, 0));
+}
+
+void
+ProcedureBuilder::syscall()
+{
+    push(r3(Op::Syscall, 0, 0, 0));
+}
+
+void
+ProcedureBuilder::halt(int16_t code)
+{
+    push(iImm(Op::Halt, 0, 0, static_cast<uint16_t>(code)));
+}
+
+void
+ProcedureBuilder::swic(uint8_t rt, int16_t offset, uint8_t base)
+{
+    push(iImm(Op::Swic, rt, base, static_cast<uint16_t>(offset)));
+}
+
+void
+ProcedureBuilder::iret()
+{
+    Instruction i;
+    i.op = Op::Iret;
+    push(i);
+}
+
+void
+ProcedureBuilder::mfc0(uint8_t rt, uint8_t c0reg)
+{
+    Instruction i;
+    i.op = Op::Mfc0;
+    i.rt = rt;
+    i.rd = c0reg;
+    push(i);
+}
+
+void
+ProcedureBuilder::mtc0(uint8_t rt, uint8_t c0reg)
+{
+    Instruction i;
+    i.op = Op::Mtc0;
+    i.rt = rt;
+    i.rd = c0reg;
+    push(i);
+}
+
+void
+ProcedureBuilder::emit(const isa::Instruction &inst)
+{
+    push(inst);
+}
+
+} // namespace rtd::prog

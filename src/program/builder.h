@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Assembler-style builder API for constructing Procedures.
+ *
+ * Used by the workload generator and by the decompression runtime (the
+ * exception handlers of Figure 2 and the CodePack handler are written
+ * against this API).
+ */
+
+#ifndef RTDC_PROGRAM_BUILDER_H
+#define RTDC_PROGRAM_BUILDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.h"
+#include "program/program.h"
+
+namespace rtd::prog {
+
+/** A procedure-local label handle. */
+using Label = int32_t;
+
+/**
+ * Builds one Procedure instruction by instruction.
+ *
+ * Methods mirror assembly mnemonics; branch targets are Labels allocated
+ * with newLabel() and placed with bind(). Calls take the callee's
+ * procedure index in the enclosing Program.
+ */
+class ProcedureBuilder
+{
+  public:
+    explicit ProcedureBuilder(std::string name);
+
+    /** Finish and take the procedure (builder becomes empty). */
+    Procedure take();
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return proc_.code.size(); }
+
+    /// @name Labels
+    /// @{
+    Label newLabel();
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+    /// @}
+
+    /// @name Three-register ALU
+    /// @{
+    void addu(uint8_t rd, uint8_t rs, uint8_t rt);
+    void add(uint8_t rd, uint8_t rs, uint8_t rt);
+    void subu(uint8_t rd, uint8_t rs, uint8_t rt);
+    void sub(uint8_t rd, uint8_t rs, uint8_t rt);
+    void and_(uint8_t rd, uint8_t rs, uint8_t rt);
+    void or_(uint8_t rd, uint8_t rs, uint8_t rt);
+    void xor_(uint8_t rd, uint8_t rs, uint8_t rt);
+    void nor(uint8_t rd, uint8_t rs, uint8_t rt);
+    void slt(uint8_t rd, uint8_t rs, uint8_t rt);
+    void sltu(uint8_t rd, uint8_t rs, uint8_t rt);
+    void sllv(uint8_t rd, uint8_t rt, uint8_t rs);
+    void srlv(uint8_t rd, uint8_t rt, uint8_t rs);
+    void srav(uint8_t rd, uint8_t rt, uint8_t rs);
+    /// @}
+
+    /// @name Shifts by immediate
+    /// @{
+    void sll(uint8_t rd, uint8_t rt, uint8_t shamt);
+    void srl(uint8_t rd, uint8_t rt, uint8_t shamt);
+    void sra(uint8_t rd, uint8_t rt, uint8_t shamt);
+    void nop();
+    /// @}
+
+    /// @name Multiply / divide
+    /// @{
+    void mult(uint8_t rs, uint8_t rt);
+    void multu(uint8_t rs, uint8_t rt);
+    void div(uint8_t rs, uint8_t rt);
+    void divu(uint8_t rs, uint8_t rt);
+    void mfhi(uint8_t rd);
+    void mflo(uint8_t rd);
+    void mthi(uint8_t rs);
+    void mtlo(uint8_t rs);
+    /// @}
+
+    /// @name Immediate ALU
+    /// @{
+    void addiu(uint8_t rt, uint8_t rs, int16_t imm);
+    void addi(uint8_t rt, uint8_t rs, int16_t imm);
+    void slti(uint8_t rt, uint8_t rs, int16_t imm);
+    void sltiu(uint8_t rt, uint8_t rs, int16_t imm);
+    void andi(uint8_t rt, uint8_t rs, uint16_t imm);
+    void ori(uint8_t rt, uint8_t rs, uint16_t imm);
+    void xori(uint8_t rt, uint8_t rs, uint16_t imm);
+    void lui(uint8_t rt, uint16_t imm);
+    /** lui+ori pair materializing a 32-bit constant. */
+    void li32(uint8_t rt, uint32_t value);
+    /// @}
+
+    /// @name Memory
+    /// @{
+    void lw(uint8_t rt, int16_t offset, uint8_t base);
+    void lh(uint8_t rt, int16_t offset, uint8_t base);
+    void lhu(uint8_t rt, int16_t offset, uint8_t base);
+    void lb(uint8_t rt, int16_t offset, uint8_t base);
+    void lbu(uint8_t rt, int16_t offset, uint8_t base);
+    /** Indexed load: rd = mem32[rs + rt]. */
+    void lwx(uint8_t rd, uint8_t rs, uint8_t rt);
+    void sw(uint8_t rt, int16_t offset, uint8_t base);
+    void sh(uint8_t rt, int16_t offset, uint8_t base);
+    void sb(uint8_t rt, int16_t offset, uint8_t base);
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    void beq(uint8_t rs, uint8_t rt, Label label);
+    void bne(uint8_t rs, uint8_t rt, Label label);
+    void blez(uint8_t rs, Label label);
+    void bgtz(uint8_t rs, Label label);
+    void bltz(uint8_t rs, Label label);
+    void bgez(uint8_t rs, Label label);
+    /** Unconditional jump to a local label (encoded as beq zero,zero). */
+    void b(Label label);
+    void jal(int32_t callee);
+    void j(int32_t callee);
+    void jr(uint8_t rs);
+    void jalr(uint8_t rd, uint8_t rs);
+    /// @}
+
+    /// @name System / decompression extensions
+    /// @{
+    void syscall();
+    void halt(int16_t code = 0);
+    void swic(uint8_t rt, int16_t offset, uint8_t base);
+    void iret();
+    void mfc0(uint8_t rt, uint8_t c0reg);
+    void mtc0(uint8_t rt, uint8_t c0reg);
+    /// @}
+
+    /** Emit an arbitrary pre-decoded instruction (no symbolic operands). */
+    void emit(const isa::Instruction &inst);
+
+  private:
+    void push(const isa::Instruction &inst, Label label = -1,
+              int32_t callee = -1);
+
+    Procedure proc_;
+};
+
+} // namespace rtd::prog
+
+#endif // RTDC_PROGRAM_BUILDER_H

@@ -1,0 +1,229 @@
+#include "program/linker.h"
+
+#include <algorithm>
+
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::prog {
+
+uint32_t
+LoadedImage::textBytes() const
+{
+    return static_cast<uint32_t>(decompText.size() + nativeText.size()) * 4;
+}
+
+bool
+LoadedImage::inCompressedRegion(uint32_t addr) const
+{
+    return !decompText.empty() && addr >= decompBase &&
+           addr < decompBase + decompText.size() * 4;
+}
+
+int32_t
+LoadedImage::procAt(uint32_t addr) const
+{
+    // procs is sorted by base; find the last proc with base <= addr.
+    auto it = std::upper_bound(
+        procs.begin(), procs.end(), addr,
+        [](uint32_t a, const LinkedProc &p) { return a < p.base; });
+    if (it == procs.begin())
+        return -1;
+    --it;
+    if (addr < it->base + it->size)
+        return static_cast<int32_t>(it - procs.begin());
+    return -1;
+}
+
+uint32_t
+LoadedImage::textWordAt(uint32_t addr) const
+{
+    if (inCompressedRegion(addr))
+        return decompText[(addr - decompBase) / 4];
+    if (!nativeText.empty() && addr >= nativeBase &&
+        addr < nativeBase + nativeText.size() * 4) {
+        return nativeText[(addr - nativeBase) / 4];
+    }
+    panic("textWordAt(0x%08x): address outside text", addr);
+}
+
+namespace {
+
+/** Encode one procedure's instructions at @p base into @p out. */
+void
+emitProcedure(const Program &program, const Procedure &proc,
+              const std::vector<uint32_t> &proc_addr, uint32_t base,
+              std::vector<uint32_t> &out)
+{
+    for (size_t i = 0; i < proc.code.size(); ++i) {
+        const SymInst &si = proc.code[i];
+        isa::Instruction inst = si.inst;
+        uint32_t pc = base + static_cast<uint32_t>(i) * 4;
+        if (si.label >= 0) {
+            int32_t target_idx = proc.labels[si.label];
+            uint32_t target = base + static_cast<uint32_t>(target_idx) * 4;
+            int32_t delta =
+                (static_cast<int32_t>(target) -
+                 static_cast<int32_t>(pc + 4)) >> 2;
+            RTDC_ASSERT(delta >= -32768 && delta <= 32767,
+                        "branch out of range in '%s'", proc.name.c_str());
+            inst.imm = static_cast<uint16_t>(delta);
+        } else if (si.callee >= 0) {
+            uint32_t target = proc_addr[si.callee];
+            RTDC_ASSERT((target & 3) == 0 && (target >> 2) < (1u << 26),
+                        "call target 0x%08x unencodable from '%s'",
+                        target, proc.name.c_str());
+            inst.target = target >> 2;
+        }
+        (void)program;
+        out.push_back(isa::encode(inst));
+    }
+}
+
+} // namespace
+
+LoadedImage
+link(const Program &program, const std::vector<Region> &regions,
+     const std::vector<int32_t> &order)
+{
+    program.check();
+
+    std::vector<Region> assign = regions;
+    if (assign.empty())
+        assign.assign(program.procs.size(), Region::Native);
+    RTDC_ASSERT(assign.size() == program.procs.size(),
+                "region assignment size %zu != %zu procedures",
+                assign.size(), program.procs.size());
+
+    // Emission order: original program order unless a placement was
+    // provided (must be a permutation).
+    std::vector<int32_t> sequence = order;
+    if (sequence.empty()) {
+        sequence.resize(program.procs.size());
+        for (size_t i = 0; i < sequence.size(); ++i)
+            sequence[i] = static_cast<int32_t>(i);
+    } else {
+        RTDC_ASSERT(sequence.size() == program.procs.size(),
+                    "placement order size %zu != %zu procedures",
+                    sequence.size(), program.procs.size());
+        std::vector<int8_t> seen(program.procs.size(), 0);
+        for (int32_t idx : sequence) {
+            RTDC_ASSERT(idx >= 0 &&
+                        static_cast<size_t>(idx) <
+                            program.procs.size() && !seen[idx],
+                        "placement order is not a permutation");
+            seen[idx] = 1;
+        }
+    }
+
+    LoadedImage image;
+    image.name = program.name;
+
+    // Pass 1: assign addresses. Compressed region first at textBase, then
+    // the native region at the next regionAlign boundary. When nothing is
+    // compressed, native code sits at textBase (the plain .text layout).
+    std::vector<uint32_t> proc_addr(program.procs.size(), 0);
+    uint32_t decomp_cursor = layout::textBase;
+    for (int32_t i : sequence) {
+        if (assign[i] == Region::Compressed) {
+            proc_addr[i] = decomp_cursor;
+            decomp_cursor += program.procs[i].sizeBytes();
+        }
+    }
+    bool any_compressed = decomp_cursor != layout::textBase;
+    uint32_t native_base =
+        any_compressed
+            ? static_cast<uint32_t>(
+                  alignUp(decomp_cursor, layout::regionAlign))
+            : layout::textBase;
+    uint32_t native_cursor = native_base;
+    for (int32_t i : sequence) {
+        if (assign[i] == Region::Native) {
+            proc_addr[i] = native_cursor;
+            native_cursor += program.procs[i].sizeBytes();
+        }
+    }
+
+    // Pass 2: encode.
+    if (any_compressed) {
+        image.decompBase = layout::textBase;
+        image.decompText.reserve((decomp_cursor - layout::textBase) / 4);
+        for (int32_t i : sequence) {
+            if (assign[i] == Region::Compressed) {
+                emitProcedure(program, program.procs[i], proc_addr,
+                              proc_addr[i], image.decompText);
+            }
+        }
+    }
+    if (native_cursor != native_base) {
+        image.nativeBase = native_base;
+        image.nativeText.reserve((native_cursor - native_base) / 4);
+        for (int32_t i : sequence) {
+            if (assign[i] == Region::Native) {
+                emitProcedure(program, program.procs[i], proc_addr,
+                              proc_addr[i], image.nativeText);
+            }
+        }
+    }
+
+    // Symbol table sorted by base.
+    for (size_t i = 0; i < program.procs.size(); ++i) {
+        LinkedProc lp;
+        lp.name = program.procs[i].name;
+        lp.progIndex = static_cast<int32_t>(i);
+        lp.base = proc_addr[i];
+        lp.size = program.procs[i].sizeBytes();
+        lp.region = assign[i];
+        image.procs.push_back(lp);
+    }
+    std::sort(image.procs.begin(), image.procs.end(),
+              [](const LinkedProc &a, const LinkedProc &b) {
+                  return a.base < b.base;
+              });
+
+    image.data = program.data;
+    // Resolve indirect-call table entries to this layout's addresses.
+    for (const DataReloc &reloc : program.dataRelocs) {
+        RTDC_ASSERT((reloc.offset & 3) == 0 &&
+                    reloc.offset + 4 <= image.data.size(),
+                    "data reloc at bad offset %u", reloc.offset);
+        RTDC_ASSERT(reloc.proc >= 0 &&
+                    reloc.proc < static_cast<int32_t>(proc_addr.size()),
+                    "data reloc to unknown procedure %d", reloc.proc);
+        uint32_t addr = proc_addr[reloc.proc];
+        image.data[reloc.offset] = static_cast<uint8_t>(addr);
+        image.data[reloc.offset + 1] = static_cast<uint8_t>(addr >> 8);
+        image.data[reloc.offset + 2] = static_cast<uint8_t>(addr >> 16);
+        image.data[reloc.offset + 3] = static_cast<uint8_t>(addr >> 24);
+    }
+    image.dataBase = layout::dataBase;
+    image.dataSize = std::max<uint32_t>(
+        program.dataSize, static_cast<uint32_t>(program.data.size()));
+    image.entry = proc_addr[program.entry];
+    image.stackTop = layout::stackTop;
+    return image;
+}
+
+LoadedImage
+linkFullyCompressed(const Program &program)
+{
+    std::vector<Region> regions(program.procs.size(), Region::Compressed);
+    return link(program, regions);
+}
+
+std::vector<uint32_t>
+assembleProcedure(const Procedure &proc, uint32_t base)
+{
+    for (const SymInst &si : proc.code) {
+        RTDC_ASSERT(si.callee < 0,
+                    "assembleProcedure('%s'): calls are not supported",
+                    proc.name.c_str());
+    }
+    std::vector<uint32_t> out;
+    out.reserve(proc.code.size());
+    Program dummy;
+    emitProcedure(dummy, proc, {}, base, out);
+    return out;
+}
+
+} // namespace rtd::prog

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The linker: materializes a symbolic Program into a concrete memory
+ * image for a given native/compressed region assignment (Figure 3).
+ *
+ * Within each region, procedures keep their original relative order
+ * (paper section 5.3); changing the assignment therefore changes absolute
+ * placement and conflict-miss behaviour — the procedure-placement effect
+ * the paper reports.
+ */
+
+#ifndef RTDC_PROGRAM_LINKER_H
+#define RTDC_PROGRAM_LINKER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/program.h"
+
+namespace rtd::prog {
+
+/** Which region a procedure is assigned to. */
+enum class Region : uint8_t { Native, Compressed };
+
+/** A linked procedure: concrete address range plus provenance. */
+struct LinkedProc
+{
+    std::string name;
+    int32_t progIndex = -1;  ///< index in the source Program
+    uint32_t base = 0;
+    uint32_t size = 0;       ///< bytes
+    Region region = Region::Native;
+};
+
+/**
+ * A fully linked program image.
+ *
+ * For a compressed program, `decompText` is the ground-truth contents of
+ * the decompressed-code region: it is what the software decompressor must
+ * reconstruct line by line, and it is the input to the compressors. It is
+ * never placed in simulated main memory (it "only exists in the cache").
+ */
+struct LoadedImage
+{
+    std::string name;
+
+    std::vector<uint32_t> decompText;  ///< compressed-region instructions
+    uint32_t decompBase = 0;           ///< base VA (0 when region empty)
+
+    std::vector<uint32_t> nativeText;  ///< native-region instructions
+    uint32_t nativeBase = 0;           ///< base VA (0 when region empty)
+
+    std::vector<uint8_t> data;         ///< initialized .data bytes
+    uint32_t dataBase = 0;
+    uint32_t dataSize = 0;             ///< .data + .bss bytes
+
+    uint32_t entry = 0;
+    uint32_t stackTop = 0;
+
+    /** All procedures sorted by base address. */
+    std::vector<LinkedProc> procs;
+
+    /** Total text bytes (both regions) — the paper's "original size". */
+    uint32_t textBytes() const;
+
+    /** Bytes of text in the native region only. */
+    uint32_t nativeTextBytes() const
+    {
+        return static_cast<uint32_t>(nativeText.size()) * 4;
+    }
+
+    /** True when @p addr falls inside the compressed (decompressed) region. */
+    bool inCompressedRegion(uint32_t addr) const;
+
+    /**
+     * Index into `procs` of the procedure covering @p addr,
+     * or -1 when the address is not inside any procedure.
+     */
+    int32_t procAt(uint32_t addr) const;
+
+    /** Ground-truth instruction word at a text VA (either region). */
+    uint32_t textWordAt(uint32_t addr) const;
+};
+
+/**
+ * Link @p program with the given per-procedure region assignment.
+ *
+ * @param program    the symbolic program (program.check() must pass)
+ * @param regions    one Region per procedure; pass an empty vector to
+ *                   place everything in the native region
+ * @param order      optional emission order (a permutation of procedure
+ *                   indices): procedures are laid out within their
+ *                   regions following this sequence instead of the
+ *                   original program order. Used by profile-guided
+ *                   placement (profile/placement.h).
+ */
+LoadedImage link(const Program &program,
+                 const std::vector<Region> &regions = {},
+                 const std::vector<int32_t> &order = {});
+
+/** Convenience: link with every procedure in the compressed region. */
+LoadedImage linkFullyCompressed(const Program &program);
+
+/**
+ * Assemble a single self-contained procedure at @p base (local labels
+ * only; no calls). Used to build the exception handlers loaded into the
+ * on-chip HandlerRam.
+ */
+std::vector<uint32_t> assembleProcedure(const Procedure &proc,
+                                        uint32_t base);
+
+} // namespace rtd::prog
+
+#endif // RTDC_PROGRAM_LINKER_H

@@ -1,0 +1,66 @@
+#include "program/program.h"
+
+#include "support/logging.h"
+
+namespace rtd::prog {
+
+int32_t
+Program::findProc(const std::string &proc_name) const
+{
+    for (size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].name == proc_name)
+            return static_cast<int32_t>(i);
+    }
+    return -1;
+}
+
+uint32_t
+Program::textBytes() const
+{
+    uint32_t total = 0;
+    for (const Procedure &p : procs)
+        total += p.sizeBytes();
+    return total;
+}
+
+size_t
+Program::textWords() const
+{
+    size_t total = 0;
+    for (const Procedure &p : procs)
+        total += p.code.size();
+    return total;
+}
+
+void
+Program::check() const
+{
+    RTDC_ASSERT(!procs.empty(), "program '%s' has no procedures",
+                name.c_str());
+    RTDC_ASSERT(entry >= 0 && entry < static_cast<int32_t>(procs.size()),
+                "program '%s' entry out of range", name.c_str());
+    for (const Procedure &p : procs) {
+        RTDC_ASSERT(!p.code.empty(), "empty procedure '%s'",
+                    p.name.c_str());
+        for (int32_t pos : p.labels) {
+            RTDC_ASSERT(pos >= 0 &&
+                        pos <= static_cast<int32_t>(p.code.size()),
+                        "unbound label in '%s'", p.name.c_str());
+        }
+        for (const SymInst &si : p.code) {
+            if (si.label >= 0) {
+                RTDC_ASSERT(si.label <
+                            static_cast<int32_t>(p.labels.size()),
+                            "label id out of range in '%s'",
+                            p.name.c_str());
+            }
+            if (si.callee >= 0) {
+                RTDC_ASSERT(si.callee <
+                            static_cast<int32_t>(procs.size()),
+                            "callee out of range in '%s'", p.name.c_str());
+            }
+        }
+    }
+}
+
+} // namespace rtd::prog

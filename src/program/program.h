@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Symbolic program representation.
+ *
+ * Programs are kept symbolic (procedures with local labels and named call
+ * targets) until link time because selective compression re-partitions
+ * procedures between the native and compressed regions, which moves them
+ * in the address space (paper section 5.3: the procedure-placement
+ * effect). The Linker materializes a concrete layout for a given region
+ * assignment.
+ */
+
+#ifndef RTDC_PROGRAM_PROGRAM_H
+#define RTDC_PROGRAM_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace rtd::prog {
+
+/** Fixed virtual-address layout constants (see DESIGN.md section 6). */
+namespace layout {
+
+constexpr uint32_t textBase = 0x00400000;  ///< .text / decompressed region
+constexpr uint32_t dataBase = 0x10000000;  ///< .data + .bss
+constexpr uint32_t stackTop = 0x7ffffff0;  ///< initial stack pointer
+/** Base of the compressed physical segments (.dictionary/.indices/...). */
+constexpr uint32_t compressedBase = 0x20000000;
+/** Native-region alignment when a program is split (page). */
+constexpr uint32_t regionAlign = 0x1000;
+
+} // namespace layout
+
+/**
+ * One instruction with optional symbolic operands. Exactly one of
+ * {none, label, callee} applies: label for procedure-local branch targets,
+ * callee for j/jal to another procedure.
+ */
+struct SymInst
+{
+    isa::Instruction inst;
+    int32_t label = -1;   ///< procedure-local label id, or -1
+    int32_t callee = -1;  ///< target procedure index, or -1
+};
+
+/** A procedure: named straight-line code with local labels. */
+struct Procedure
+{
+    std::string name;
+    std::vector<SymInst> code;
+    /** label id -> instruction index within code (filled by the builder). */
+    std::vector<int32_t> labels;
+
+    /** Size in bytes when laid out (4 bytes per instruction). */
+    uint32_t sizeBytes() const
+    {
+        return static_cast<uint32_t>(code.size()) * 4;
+    }
+};
+
+/**
+ * A word in .data that must hold a procedure's linked address (used for
+ * indirect-call tables; re-resolved on every link because selective
+ * compression moves procedures).
+ */
+struct DataReloc
+{
+    uint32_t offset = 0;  ///< byte offset into .data (word aligned)
+    int32_t proc = -1;    ///< procedure whose address to store
+};
+
+/** A whole program: procedures plus an initialized data segment. */
+struct Program
+{
+    std::string name;
+    std::vector<Procedure> procs;
+    int32_t entry = 0;          ///< index of the entry procedure
+    std::vector<uint8_t> data;  ///< initialized .data contents
+    uint32_t dataSize = 0;      ///< .data + .bss size in bytes
+    std::vector<DataReloc> dataRelocs;
+
+    /** Index of a procedure by name; -1 when absent. */
+    int32_t findProc(const std::string &proc_name) const;
+
+    /** Total text size in bytes across all procedures. */
+    uint32_t textBytes() const;
+
+    /** Total instruction count across all procedures. */
+    size_t textWords() const;
+
+    /** Validate internal consistency (labels bound, callees in range). */
+    void check() const;
+};
+
+} // namespace rtd::prog
+
+#endif // RTDC_PROGRAM_PROGRAM_H

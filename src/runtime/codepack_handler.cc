@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The CodePack decompression exception handler.
+ *
+ * CodePack compresses 16 instructions (two 32-byte cache lines) into a
+ * group of unaligned variable-length codewords, which "constrains the
+ * decompressor to serially decode each instruction" (paper section 3.2).
+ * On a miss the handler:
+ *
+ *  1. looks up the missed line's group in the mapping table (the extra
+ *     memory access the dictionary scheme avoids),
+ *  2. bit-serially decodes 16 high/low halfword codewords against the
+ *     two ranked dictionaries,
+ *  3. installs both cache lines of the group with swic.
+ *
+ * The bit-serial decode is what makes this handler an order of magnitude
+ * slower than the dictionary handler (~1100 vs 75 dynamic instructions).
+ */
+
+#include "runtime/handlers.h"
+
+#include "mem/handler_ram.h"
+#include "program/builder.h"
+#include "program/linker.h"
+
+namespace rtd::runtime {
+
+using namespace rtd::isa;
+using prog::Label;
+using prog::ProcedureBuilder;
+
+namespace {
+
+/**
+ * Register allocation (r26/r27 = k0/k1 are OS-reserved and free):
+ *   r8 : codeword source pointer      r9 : bit buffer (left-aligned)
+ *   r10: valid bit count              r11: destination address
+ *   r12: high dictionary base         r13: low dictionary base
+ *   r14: scratch / decoded halfword   r15: scratch
+ *   r26: group end address            r27: assembled instruction word
+ */
+constexpr uint8_t rSrc = 8;
+constexpr uint8_t rBuf = 9;
+constexpr uint8_t rCnt = 10;
+constexpr uint8_t rDst = 11;
+constexpr uint8_t rHiDict = 12;
+constexpr uint8_t rLoDict = 13;
+constexpr uint8_t rVal = 14;
+constexpr uint8_t rTmp = 15;
+constexpr uint8_t rEnd = K0;
+constexpr uint8_t rWord = K1;
+
+/**
+ * Emit the decode of one halfword codeword: result in rVal. Consumes
+ * bits from rBuf/rCnt, refilling bytewise from rSrc. Tag layout is the
+ * CodePack reconstruction of DESIGN.md section 7.
+ */
+void
+emitDecodeHalf(ProcedureBuilder &b, uint8_t dict_base)
+{
+    Label refill_loop = b.newLabel();
+    Label refilled = b.newLabel();
+    Label not00 = b.newLabel();
+    Label not01 = b.newLabel();
+    Label tag101 = b.newLabel();
+    Label tag11 = b.newLabel();
+    Label done = b.newLabel();
+
+    // Refill: the longest codeword is 18 bits (escape), so top up the
+    // bit buffer a byte at a time until at least 18 bits are valid.
+    b.bind(refill_loop);
+    b.slti(rTmp, rCnt, 18);
+    b.beq(rTmp, Zero, refilled);
+    b.lbu(rVal, 0, rSrc);
+    b.addiu(rSrc, rSrc, 1);
+    b.addiu(rTmp, Zero, 24);
+    b.subu(rTmp, rTmp, rCnt);
+    b.sllv(rVal, rVal, rTmp);     // position byte below current bits
+    b.or_(rBuf, rBuf, rVal);
+    b.addiu(rCnt, rCnt, 8);
+    b.b(refill_loop);
+    b.bind(refilled);
+
+    // 2-bit tag.
+    b.srl(rVal, rBuf, 30);
+    b.sll(rBuf, rBuf, 2);
+    b.addiu(rCnt, rCnt, -2);
+    b.bne(rVal, Zero, not00);
+
+    // tag 00: rank 0 (the most frequent halfword).
+    b.lhu(rVal, 0, dict_base);
+    b.b(done);
+
+    b.bind(not00);
+    b.addiu(rTmp, rVal, -1);
+    b.bne(rTmp, Zero, not01);
+
+    // tag 01 + 4-bit index: ranks 1..16.
+    b.srl(rVal, rBuf, 28);
+    b.sll(rBuf, rBuf, 4);
+    b.addiu(rCnt, rCnt, -4);
+    b.addiu(rVal, rVal, 1);
+    b.sll(rVal, rVal, 1);
+    b.addu(rTmp, dict_base, rVal);
+    b.lhu(rVal, 0, rTmp);
+    b.b(done);
+
+    b.bind(not01);
+    b.addiu(rTmp, rVal, -2);
+    b.bne(rTmp, Zero, tag11);
+
+    // tag 10x: one more tag bit selects the 6- or 8-bit index class.
+    b.srl(rTmp, rBuf, 31);
+    b.sll(rBuf, rBuf, 1);
+    b.addiu(rCnt, rCnt, -1);
+    b.bne(rTmp, Zero, tag101);
+
+    // tag 100 + 6-bit index: ranks 17..80.
+    b.srl(rVal, rBuf, 26);
+    b.sll(rBuf, rBuf, 6);
+    b.addiu(rCnt, rCnt, -6);
+    b.addiu(rVal, rVal, 17);
+    b.sll(rVal, rVal, 1);
+    b.addu(rTmp, dict_base, rVal);
+    b.lhu(rVal, 0, rTmp);
+    b.b(done);
+
+    b.bind(tag101);
+    // tag 101 + 8-bit index: ranks 81..336.
+    b.srl(rVal, rBuf, 24);
+    b.sll(rBuf, rBuf, 8);
+    b.addiu(rCnt, rCnt, -8);
+    b.addiu(rVal, rVal, 81);
+    b.sll(rVal, rVal, 1);
+    b.addu(rTmp, dict_base, rVal);
+    b.lhu(rVal, 0, rTmp);
+    b.b(done);
+
+    b.bind(tag11);
+    // tag 11 + 16 raw bits: escaped literal halfword.
+    b.srl(rVal, rBuf, 16);
+    b.sll(rBuf, rBuf, 16);
+    b.addiu(rCnt, rCnt, -16);
+
+    b.bind(done);
+}
+
+} // namespace
+
+HandlerBuild
+buildCodePackHandler(bool second_reg_file)
+{
+    ProcedureBuilder b(second_reg_file ? "codepack_handler_rf"
+                                       : "codepack_handler");
+
+    // Without a second register file every user register the handler
+    // touches must be preserved across the exception.
+    if (!second_reg_file) {
+        for (unsigned i = 0; i < 8; ++i)
+            b.sw(static_cast<uint8_t>(8 + i),
+                 static_cast<int16_t>(-4 - 4 * i), Sp);
+    }
+
+    // Group base address = BADVA with the low 6 bits cleared.
+    b.mfc0(rEnd, C0BadVa);
+    b.srl(rEnd, rEnd, 6);
+    b.sll(rEnd, rEnd, 6);
+
+    // Mapping-table lookup: one packed 32-bit entry covers two groups
+    // (bits [23:0] = even group byte offset, [31:24] = odd group delta).
+    b.mfc0(rWord, C0DecompBase);
+    b.subu(rSrc, rEnd, rWord);    // byte offset into decompressed region
+    b.srl(rBuf, rSrc, 7);         // group-pair index
+    b.sll(rBuf, rBuf, 2);         // map-table byte offset
+    b.mfc0(rCnt, C0MapBase);
+    b.addu(rBuf, rBuf, rCnt);
+    b.lw(rVal, 0, rBuf);          // the extra memory access vs dictionary
+    b.srl(rCnt, rVal, 24);        // odd group's delta
+    b.sll(rVal, rVal, 8);
+    b.srl(rVal, rVal, 8);         // even group's offset
+    b.andi(rTmp, rSrc, 64);       // odd group in the pair?
+    Label even_group = b.newLabel();
+    b.beq(rTmp, Zero, even_group);
+    b.addu(rVal, rVal, rCnt);
+    b.bind(even_group);
+    b.mfc0(rCnt, C0IndexBase);    // codeword stream base
+    b.addu(rSrc, rVal, rCnt);     // source pointer
+
+    b.addu(rDst, rEnd, Zero);     // destination = group base VA
+    b.addiu(rEnd, rDst, 64);      // end of group
+    b.mfc0(rHiDict, C0HighDictBase);
+    b.mfc0(rLoDict, C0LowDictBase);
+    b.addu(rBuf, Zero, Zero);     // bit buffer = 0
+    b.addu(rCnt, Zero, Zero);     // bit count = 0
+
+    Label group_loop = b.newLabel();
+    b.bind(group_loop);
+    emitDecodeHalf(b, rHiDict);
+    b.sll(rWord, rVal, 16);
+    emitDecodeHalf(b, rLoDict);
+    b.or_(rWord, rWord, rVal);
+    b.swic(rWord, 0, rDst);
+    b.addiu(rDst, rDst, 4);
+    b.bne(rDst, rEnd, group_loop);
+
+    if (!second_reg_file) {
+        for (unsigned i = 0; i < 8; ++i)
+            b.lw(static_cast<uint8_t>(8 + i),
+                 static_cast<int16_t>(-4 - 4 * i), Sp);
+    }
+    b.iret();
+
+    HandlerBuild out;
+    out.code = prog::assembleProcedure(b.take(), mem::HandlerRam::base);
+    out.usesShadowRegs = second_reg_file;
+    return out;
+}
+
+} // namespace rtd::runtime

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The Huffman-line decompression exception handler.
+ *
+ * Decodes one CCRP-style Huffman-coded cache line ([Wolfe92]) with a
+ * bit-serial canonical decoder: the codeword is extended one bit at a
+ * time while walking the per-length code counts, then the symbol is
+ * fetched from the canonical permutation. At roughly 9 instructions per
+ * *bit* this is the slowest of the line handlers — the price of a
+ * format designed for hardware decode, and a demonstration that the
+ * software-managed I-cache can host any algorithm.
+ *
+ * Decode-table layout (see HuffmanLine::buildImage):
+ *   tab[0..15]   count of codes of length 1..16 (bytes)
+ *   tab[16..]    symbols sorted by (length, value)
+ */
+
+#include "runtime/handlers.h"
+
+#include "mem/handler_ram.h"
+#include "program/builder.h"
+#include "program/linker.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::runtime {
+
+using namespace rtd::isa;
+using prog::Label;
+using prog::ProcedureBuilder;
+
+namespace {
+
+/**
+ * Register allocation:
+ *   r8 : codeword source pointer     r9 : bit buffer (left-aligned)
+ *   r10: valid bit count             r11: destination address
+ *   r12: decode-table base           r13: line end address
+ *   r14: word under assembly         r15: count-table walk pointer
+ *   r24: code under extension        r25: first code of current length
+ *   r26: symbol index accumulator    r27: scratch
+ */
+constexpr uint8_t rSrc = 8;
+constexpr uint8_t rBuf = 9;
+constexpr uint8_t rCnt = 10;
+constexpr uint8_t rDst = 11;
+constexpr uint8_t rTab = 12;
+constexpr uint8_t rEnd = 13;
+constexpr uint8_t rWord = 14;
+constexpr uint8_t rLen = 15;
+constexpr uint8_t rCode = T8;
+constexpr uint8_t rFirst = T9;
+constexpr uint8_t rIdx = K0;
+constexpr uint8_t rTmp = K1;
+
+/** Decode one byte into the top byte of rWord (word >>= 8 first). */
+void
+emitDecodeByte(ProcedureBuilder &b)
+{
+    Label refill = b.newLabel();
+    Label refilled = b.newLabel();
+    Label bit_loop = b.newLabel();
+    Label found = b.newLabel();
+
+    // Top up the bit buffer: the longest code is 15 bits.
+    b.bind(refill);
+    b.slti(rTmp, rCnt, 15);
+    b.beq(rTmp, Zero, refilled);
+    b.lbu(rTmp, 0, rSrc);
+    b.addiu(rSrc, rSrc, 1);
+    b.addiu(rLen, Zero, 24);
+    b.subu(rLen, rLen, rCnt);
+    b.sllv(rTmp, rTmp, rLen);
+    b.or_(rBuf, rBuf, rTmp);
+    b.addiu(rCnt, rCnt, 8);
+    b.b(refill);
+    b.bind(refilled);
+
+    // Canonical decode state.
+    b.addu(rCode, Zero, Zero);   // code = 0
+    b.addu(rFirst, Zero, Zero);  // first code of length = 0
+    b.addu(rIdx, Zero, Zero);    // symbol index accumulator
+    b.addu(rLen, rTab, Zero);    // count-table walk pointer
+
+    b.bind(bit_loop);
+    b.srl(rTmp, rBuf, 31);       // next bit
+    b.sll(rBuf, rBuf, 1);
+    b.addiu(rCnt, rCnt, -1);
+    b.sll(rCode, rCode, 1);
+    b.or_(rCode, rCode, rTmp);
+    b.lbu(rTmp, 0, rLen);        // codes of this length
+    b.addiu(rLen, rLen, 1);
+    b.addu(rIdx, rIdx, rTmp);    // idx += count (corrected when found)
+    b.addu(rFirst, rFirst, rTmp);
+    b.sltu(rTmp, rCode, rFirst); // code < first+count: found
+    b.bne(rTmp, Zero, found);
+    b.sll(rFirst, rFirst, 1);
+    b.b(bit_loop);
+
+    b.bind(found);
+    // symbol offset = idx + code - first (idx/first both over-advanced
+    // by this length's count, so the correction cancels).
+    b.subu(rTmp, rCode, rFirst);
+    b.addu(rTmp, rIdx, rTmp);
+    b.addu(rTmp, rTab, rTmp);
+    b.lbu(rTmp, 16, rTmp);       // the decoded byte
+    // Merge little-endian: after four bytes the first sits in bits 7..0.
+    b.srl(rWord, rWord, 8);
+    b.sll(rTmp, rTmp, 24);
+    b.or_(rWord, rWord, rTmp);
+}
+
+} // namespace
+
+HandlerBuild
+buildHuffmanHandler(bool second_reg_file, uint32_t line_bytes)
+{
+    RTDC_ASSERT(isPowerOfTwo(line_bytes) && line_bytes >= 8,
+                "bad I-line size %u", line_bytes);
+    auto line_shift = static_cast<uint8_t>(floorLog2(line_bytes));
+
+    ProcedureBuilder b(second_reg_file ? "huffman_handler_rf"
+                                       : "huffman_handler");
+
+    if (!second_reg_file) {
+        for (unsigned i = 0; i < 8; ++i)
+            b.sw(static_cast<uint8_t>(8 + i),
+                 static_cast<int16_t>(-4 - 4 * i), Sp);
+        b.sw(T8, -36, Sp);
+        b.sw(T9, -40, Sp);
+    }
+
+    // Missed line address.
+    b.mfc0(rDst, C0BadVa);
+    b.srl(rDst, rDst, line_shift);
+    b.sll(rDst, rDst, line_shift);
+
+    // Line address table lookup (packed pairs, as in CodePack's index
+    // table): entry = LAT[line_index/2].
+    b.mfc0(rTmp, C0DecompBase);
+    b.subu(rSrc, rDst, rTmp);            // region byte offset
+    b.srl(rBuf, rSrc, line_shift + 1);   // line pair index
+    b.sll(rBuf, rBuf, 2);
+    b.mfc0(rCnt, C0MapBase);
+    b.addu(rBuf, rBuf, rCnt);
+    b.lw(rWord, 0, rBuf);                // packed LAT entry
+    b.srl(rCnt, rWord, 24);              // odd-line delta
+    b.sll(rWord, rWord, 8);
+    b.srl(rWord, rWord, 8);              // even-line offset
+    b.andi(rTmp, rSrc,
+           static_cast<uint16_t>(line_bytes));  // odd line in the pair?
+    Label even_line = b.newLabel();
+    b.beq(rTmp, Zero, even_line);
+    b.addu(rWord, rWord, rCnt);
+    b.bind(even_line);
+    b.mfc0(rCnt, C0IndexBase);
+    b.addu(rSrc, rWord, rCnt);           // codeword source pointer
+
+    b.mfc0(rTab, C0DictBase);            // decode tables
+    b.addiu(rEnd, rDst, static_cast<int16_t>(line_bytes));
+    b.addu(rBuf, Zero, Zero);
+    b.addu(rCnt, Zero, Zero);
+
+    Label word_loop = b.newLabel();
+    b.bind(word_loop);
+    for (int byte = 0; byte < 4; ++byte)
+        emitDecodeByte(b);
+    b.swic(rWord, 0, rDst);
+    b.addiu(rDst, rDst, 4);
+    b.bne(rDst, rEnd, word_loop);
+
+    if (!second_reg_file) {
+        for (unsigned i = 0; i < 8; ++i)
+            b.lw(static_cast<uint8_t>(8 + i),
+                 static_cast<int16_t>(-4 - 4 * i), Sp);
+        b.lw(T8, -36, Sp);
+        b.lw(T9, -40, Sp);
+    }
+    b.iret();
+
+    HandlerBuild out;
+    out.code = prog::assembleProcedure(b.take(), mem::HandlerRam::base);
+    out.usesShadowRegs = second_reg_file;
+    return out;
+}
+
+} // namespace rtd::runtime

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the
+ * compression engines.
+ */
+
+#ifndef RTDC_SUPPORT_BITOPS_H
+#define RTDC_SUPPORT_BITOPS_H
+
+#include <cstdint>
+
+namespace rtd {
+
+/** Extract bits [lo, lo+width) of @p value (lo counted from bit 0). */
+constexpr uint32_t
+bits(uint32_t value, unsigned lo, unsigned width)
+{
+    return (value >> lo) & ((width >= 32) ? 0xffffffffu
+                                          : ((1u << width) - 1u));
+}
+
+/** Insert the low @p width bits of @p field at bit position @p lo. */
+constexpr uint32_t
+insertBits(uint32_t value, unsigned lo, unsigned width, uint32_t field)
+{
+    uint32_t mask = ((width >= 32) ? 0xffffffffu : ((1u << width) - 1u))
+                    << lo;
+    return (value & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr int32_t
+signExtend(uint32_t value, unsigned width)
+{
+    uint32_t shift = 32 - width;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** True when @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+alignDown(uint64_t value, uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace rtd
+
+#endif // RTDC_SUPPORT_BITOPS_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (a bug in the simulator itself), fatal() for user/configuration errors
+ * the simulation cannot continue past, warn()/inform() for status messages
+ * that never stop the run.
+ */
+
+#ifndef RTDC_SUPPORT_LOGGING_H
+#define RTDC_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace rtd {
+
+/** Print a formatted message and abort(); use for simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; never stops the run. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/**
+ * Assert-like check that is always compiled in.
+ * Panics with the given message when the condition is false.
+ */
+#define RTDC_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::rtd::panic("assertion failed: %s: %s", #cond,                 \
+                         ::rtd::detail::formatMessage(__VA_ARGS__).c_str());\
+    } while (0)
+
+namespace detail {
+
+/** Render a printf-style message to a std::string (helper for macros). */
+std::string formatMessage(const char *fmt = "", ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace rtd
+
+#endif // RTDC_SUPPORT_LOGGING_H

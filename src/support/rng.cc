@@ -1,0 +1,87 @@
+#include "support/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace rtd {
+
+Rng::Rng(uint64_t seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+{
+}
+
+uint64_t
+Rng::next()
+{
+    // xorshift64* (Vigna): good statistical quality, one multiply.
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    RTDC_ASSERT(bound != 0, "nextBelow(0)");
+    // Multiply-shift reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    RTDC_ASSERT(lo <= hi, "nextRange(%lld, %lld)",
+                static_cast<long long>(lo), static_cast<long long>(hi));
+    return lo + static_cast<int64_t>(
+        nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta)
+{
+    RTDC_ASSERT(n > 0, "ZipfSampler over empty population");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i)
+        cdf_[i] /= sum;
+}
+
+size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::mass(size_t rank) const
+{
+    RTDC_ASSERT(rank < cdf_.size(), "rank out of range");
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+} // namespace rtd

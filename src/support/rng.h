@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All randomness in the repository flows through Rng so that every
+ * experiment is exactly reproducible from a seed. The Zipf sampler is used
+ * by the workload generator to model the highly skewed reuse of
+ * instruction encodings and procedure call frequencies observed in real
+ * programs.
+ */
+
+#ifndef RTDC_SUPPORT_RNG_H
+#define RTDC_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtd {
+
+/** xorshift64* generator: fast, deterministic, seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Draws integers in [0, n) with probability proportional to
+ * 1 / (rank+1)^theta, via an inverse-CDF table.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     population size (> 0)
+     * @param theta skew; 0 = uniform, ~1 = classic Zipf
+     */
+    ZipfSampler(size_t n, double theta);
+
+    /** Draw one rank in [0, n). */
+    size_t sample(Rng &rng) const;
+
+    size_t size() const { return cdf_.size(); }
+
+    /** Probability mass of a given rank. */
+    double mass(size_t rank) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace rtd
+
+#endif // RTDC_SUPPORT_RNG_H

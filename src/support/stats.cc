@@ -1,0 +1,68 @@
+#include "support/stats.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace rtd {
+
+uint64_t &
+StatGroup::add(const std::string &name)
+{
+    RTDC_ASSERT(!has(name), "duplicate stat '%s'", name.c_str());
+    stats_.push_back(Stat{name, 0});
+    return stats_.back().value;
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    for (const Stat &s : stats_) {
+        if (s.name == name)
+            return s.value;
+    }
+    panic("unknown stat '%s'", name.c_str());
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    for (const Stat &s : stats_) {
+        if (s.name == name)
+            return true;
+    }
+    return false;
+}
+
+void
+StatGroup::reset()
+{
+    for (Stat &s : stats_)
+        s.value = 0;
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const Stat &s : stats_)
+        os << prefix << s.name << " = " << s.value << "\n";
+    return os.str();
+}
+
+double
+percent(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : 100.0 * static_cast<double>(num)
+                            / static_cast<double>(den);
+}
+
+double
+ratio(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace rtd

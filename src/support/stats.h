@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight statistics helpers shared by the simulator components.
+ *
+ * Components keep plain named counters in a StatGroup so that tests and
+ * benches can read them by name, and Experiment code can dump them
+ * uniformly.
+ */
+
+#ifndef RTDC_SUPPORT_STATS_H
+#define RTDC_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace rtd {
+
+/** One named 64-bit counter. */
+struct Stat
+{
+    std::string name;
+    uint64_t value = 0;
+};
+
+/**
+ * An ordered collection of named counters.
+ *
+ * Registration order is preserved for reporting. References returned by
+ * add() stay valid for the lifetime of the group (deque storage). Lookup
+ * is linear — groups are small and never on the simulation fast path
+ * (components hold direct references to their counters).
+ */
+class StatGroup
+{
+  public:
+    /** Register a counter and return a stable reference to its value. */
+    uint64_t &add(const std::string &name);
+
+    /** Value of a counter by name; panics when missing. */
+    uint64_t get(const std::string &name) const;
+
+    /** True when a counter with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void reset();
+
+    const std::deque<Stat> &all() const { return stats_; }
+
+    /** Render "name = value" lines, one per counter. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::deque<Stat> stats_;
+};
+
+/** Percentage helper: 100 * num / den, 0 when den == 0. */
+double percent(uint64_t num, uint64_t den);
+
+/** Ratio helper: num / den as double, 0 when den == 0. */
+double ratio(uint64_t num, uint64_t den);
+
+} // namespace rtd
+
+#endif // RTDC_SUPPORT_STATS_H

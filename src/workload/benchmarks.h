@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The eight paper benchmarks (SPEC CINT95 + MediaBench, Table 2) as
+ * calibrated synthetic workload specs, together with the paper's
+ * published numbers so benches can print paper-vs-measured rows.
+ *
+ * Dynamic instruction counts are scaled down ~40x from the paper's
+ * shortened runs (the paper itself shortened the inputs "so that the
+ * benchmarks would complete in a reasonable amount of time"); the
+ * benches accept a scale factor to lengthen runs.
+ */
+
+#ifndef RTDC_WORKLOAD_BENCHMARKS_H
+#define RTDC_WORKLOAD_BENCHMARKS_H
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace rtd::workload {
+
+/** One paper benchmark: its spec plus the published reference numbers. */
+struct PaperBenchmark
+{
+    WorkloadSpec spec;
+
+    /// @name Published values (paper Tables 2 and 3)
+    /// @{
+    uint32_t paperTextBytes = 0;
+    double paperDictRatio = 0;      ///< % (Table 2)
+    double paperCodePackRatio = 0;  ///< %
+    double paperLzrw1Ratio = 0;     ///< %
+    double paperMissRatio = 0;      ///< % non-speculative, 16 KB I$
+    double paperDynamicInsnsM = 0;  ///< millions
+    double paperSlowdownD = 0;      ///< Table 3
+    double paperSlowdownDRf = 0;
+    double paperSlowdownCp = 0;
+    double paperSlowdownCpRf = 0;
+    /// @}
+};
+
+/** All eight benchmarks in the paper's Table 2 order. */
+const std::vector<PaperBenchmark> &paperBenchmarks();
+
+/** Lookup by name; fatal() when unknown. */
+const PaperBenchmark &paperBenchmark(const std::string &name);
+
+/**
+ * Copy of a benchmark's spec with the dynamic length multiplied by
+ * @p dyn_scale (benches use this for quick vs full runs).
+ */
+WorkloadSpec scaledSpec(const PaperBenchmark &benchmark, double dyn_scale);
+
+/** A small, fast workload for unit and integration tests. */
+WorkloadSpec tinySpec(uint64_t seed = 42);
+
+} // namespace rtd::workload
+
+#endif // RTDC_WORKLOAD_BENCHMARKS_H

@@ -1,0 +1,403 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "isa/isa.h"
+#include "program/builder.h"
+#include "support/bitops.h"
+#include "support/logging.h"
+
+namespace rtd::workload {
+
+using namespace rtd::isa;
+using prog::Label;
+using prog::ProcedureBuilder;
+
+/**
+ * Emits dataflow-safe filler instructions with controlled encoding
+ * reuse. Filler writes only the scratch registers {t0..t7, v1, a1..a3}
+ * and reads scratch registers or zero, so any reuse order is safe; loads
+ * and stores address the per-procedure data window through a0.
+ *
+ * Reuse is modeled at two granularities, as in real code:
+ *  - *phrases*: short instruction sequences (compiler idioms, inlined
+ *    helpers) that recur verbatim. Phrase reuse is what gives LZRW1 its
+ *    byte-sequence matches and concentrates word reuse.
+ *  - *words*: single encodings reused across phrases.
+ *
+ * Register and immediate choices are power-law skewed (real code leans
+ * on a few registers and small constants), which is what gives CodePack
+ * its short-codeword hit rate on both instruction halves.
+ */
+class WorkloadGenerator::FillerPool
+{
+  public:
+    FillerPool(const WorkloadSpec &spec, Rng &rng)
+        : spec_(spec), rng_(rng)
+    {
+    }
+
+    /** Emit exactly @p count filler instructions into @p b. */
+    void
+    emitRun(ProcedureBuilder &b, unsigned count)
+    {
+        unsigned emitted = 0;
+        while (emitted < count) {
+            unsigned room = count - emitted;
+            if (!phrases_.empty() &&
+                !rng_.chance(spec_.uniqueFraction)) {
+                // Replay an existing phrase: half the time a recent one
+                // (local repetition, LZRW1's window), otherwise a
+                // popularity-skewed pick over all phrases.
+                size_t idx;
+                if (rng_.chance(0.25)) {
+                    size_t window = std::min<size_t>(phrases_.size(), 48);
+                    idx = phrases_.size() - 1 - rng_.nextBelow(window);
+                } else {
+                    double u = rng_.nextDouble();
+                    idx = static_cast<size_t>(
+                        std::pow(u, spec_.reuseSkew) *
+                        static_cast<double>(phrases_.size()));
+                    if (idx >= phrases_.size())
+                        idx = phrases_.size() - 1;
+                }
+                const Phrase &phrase = phrases_[idx];
+                for (size_t i = 0; i < phrase.size() && emitted < count;
+                     ++i, ++emitted) {
+                    b.emit(phrase[i]);
+                }
+                continue;
+            }
+            // Mint a new phrase of fresh encodings.
+            unsigned len = static_cast<unsigned>(
+                std::min<uint64_t>(room, 2 + rng_.nextBelow(5)));
+            Phrase phrase;
+            for (unsigned i = 0; i < len; ++i) {
+                Instruction inst = freshUnique();
+                phrase.push_back(inst);
+                b.emit(inst);
+                ++emitted;
+            }
+            phrases_.push_back(std::move(phrase));
+        }
+    }
+
+    size_t uniques() const { return seen_.size(); }
+
+  private:
+    using Phrase = std::vector<Instruction>;
+
+    /** Scratch registers filler may write, in popularity order. */
+    static constexpr uint8_t scratch[] = {T0, T1, T2, T3, T4, T5,
+                                          T6, T7, V1, A1, A2, A3};
+    static constexpr unsigned numScratch = 12;
+
+    /** Power-law register pick: a few registers do most of the work. */
+    uint8_t
+    pick()
+    {
+        double u = rng_.nextDouble();
+        auto idx = static_cast<size_t>(std::pow(u, 5.0) * numScratch);
+        if (idx >= numScratch)
+            idx = numScratch - 1;
+        return scratch[idx];
+    }
+
+    /**
+     * Immediates are drawn skewed-small, as in real code (address
+     * offsets, small constants): this drives the CodePack low-half
+     * dictionary hit rate.
+     */
+    uint16_t
+    imm()
+    {
+        double u = rng_.nextDouble();
+        if (u < 0.34)
+            return static_cast<uint16_t>(rng_.nextBelow(4));
+        if (u < 0.64)
+            return static_cast<uint16_t>(rng_.nextBelow(16));
+        if (u < 0.90)
+            return static_cast<uint16_t>(rng_.nextBelow(256));
+        if (u < 0.97)
+            return static_cast<uint16_t>(rng_.nextBelow(4096));
+        return static_cast<uint16_t>(rng_.nextBelow(65536));
+    }
+
+    /**
+     * A fresh instruction, retried a few times on encoding collision so
+     * the realized unique count tracks the requested fraction even when
+     * the register-only template space saturates.
+     */
+    Instruction
+    freshUnique()
+    {
+        Instruction inst{};
+        for (int attempt = 0; attempt < 6; ++attempt) {
+            inst = fresh(attempt >= 2);
+            if (seen_.insert(isa::encode(inst)).second)
+                break;
+        }
+        return inst;
+    }
+
+    /**
+     * @param force_imm after collisions, restrict to immediate-bearing
+     *        templates whose encoding space cannot saturate
+     */
+    Instruction
+    fresh(bool force_imm)
+    {
+        Instruction inst;
+        if (!force_imm && rng_.chance(spec_.memDensity)) {
+            // Memory filler: word access into the a0 data window.
+            bool store = rng_.chance(0.4);
+            inst.op = store ? Op::Sw : Op::Lw;
+            inst.rt = pick();
+            inst.rs = A0;
+            inst.imm = static_cast<uint16_t>(
+                rng_.nextBelow(spec_.dataBytesPerProc / 4) * 4);
+            return inst;
+        }
+        // Opcode mix is skewed like real integer code: addiu dominates,
+        // logical-immediate and compare ops follow, register-register
+        // ALU and shifts trail. When force_imm is set (after encoding
+        // collisions) only immediate-bearing templates are used, whose
+        // encoding space cannot saturate.
+        double u = rng_.nextDouble();
+        if (force_imm)
+            u *= 0.70;
+        if (u < 0.46) {
+            inst.op = Op::Addiu;
+        } else if (u < 0.54) {
+            inst.op = Op::Ori;
+        } else if (u < 0.62) {
+            inst.op = Op::Slti;
+        } else if (u < 0.66) {
+            inst.op = Op::Andi;
+        } else if (u < 0.70) {
+            inst.op = Op::Xori;
+        } else if (u < 0.82) {
+            inst.op = Op::Addu;
+        } else if (u < 0.89) {
+            inst.op = Op::Subu;
+        } else {
+            inst.op = Op::Sll;
+        }
+        switch (inst.op) {
+          case Op::Addu: case Op::Subu:
+            inst.rd = pick();
+            inst.rs = pick();
+            inst.rt = pick();
+            break;
+          case Op::Sll:
+            inst.rd = pick();
+            inst.rt = pick();
+            inst.shamt = static_cast<uint8_t>(1 + rng_.nextBelow(8));
+            break;
+          default:
+            inst.rt = pick();
+            // Half of immediate ALU ops are accumulator-style
+            // (x op= imm), the dominant pattern compilers emit -- and
+            // the pattern 16-bit ISAs encode in one halfword.
+            inst.rs = rng_.chance(0.5) ? inst.rt : pick();
+            inst.imm = imm();
+            break;
+        }
+        return inst;
+    }
+
+    const WorkloadSpec &spec_;
+    Rng &rng_;
+    std::vector<Phrase> phrases_;
+    std::unordered_set<uint32_t> seen_;
+};
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec)
+    : spec_(std::move(spec))
+{
+    RTDC_ASSERT(spec_.hotProcs > 0 && spec_.coldProcs > 0,
+                "workload needs hot and cold procedures");
+}
+
+namespace {
+
+/**
+ * Emit @p count body instructions: filler plus occasional short forward
+ * branches (whose outcome depends on scratch values, exercising the
+ * bimodal predictor).
+ */
+void
+emitBody(ProcedureBuilder &b, WorkloadGenerator::FillerPool &pool,
+         Rng &rng, const WorkloadSpec &spec, unsigned count)
+{
+    // A branch occupies one slot and protects 1..3 following filler
+    // slots, so one branch is emitted roughly every 1/branchDensity
+    // instructions.
+    unsigned i = 0;
+    while (i < count) {
+        unsigned room = count - i;
+        if (room > 4 && rng.chance(spec.branchDensity * 4.0)) {
+            unsigned skip = 1 + static_cast<unsigned>(rng.nextBelow(3));
+            Label l = b.newLabel();
+            uint8_t a = static_cast<uint8_t>(T0 + rng.nextBelow(8));
+            uint8_t c = static_cast<uint8_t>(T0 + rng.nextBelow(8));
+            if (rng.chance(0.5))
+                b.bne(a, c, l);
+            else
+                b.beq(a, c, l);
+            pool.emitRun(b, skip);
+            b.bind(l);
+            i += 1 + skip;
+        } else {
+            unsigned chunk = static_cast<unsigned>(
+                std::min<uint64_t>(room, 3 + rng.nextBelow(8)));
+            pool.emitRun(b, chunk);
+            i += chunk;
+        }
+    }
+}
+
+} // namespace
+
+prog::Program
+WorkloadGenerator::generate()
+{
+    Rng rng(spec_.seed);
+    FillerPool pool(spec_, rng);
+    prog::Program program;
+    program.name = spec_.name;
+
+    // ---- Text budget ------------------------------------------------
+    uint32_t total_insns = spec_.targetTextBytes / 4;
+    const unsigned hot_overhead = 7;   // a0 setup, counter, loop, ret
+    const unsigned cold_overhead = 4;  // a0 setup, checksum, ret
+    unsigned main_insns_est = 16 + spec_.hotProcs +
+                              3 * spec_.coldCallsPerIter;
+
+    auto hot_insns_total = static_cast<uint32_t>(
+        spec_.hotTextFraction * static_cast<double>(total_insns));
+    uint32_t hot_size =
+        std::max<uint32_t>(hot_overhead + 8,
+                           hot_insns_total / spec_.hotProcs);
+    uint32_t cold_total = total_insns > hot_size * spec_.hotProcs +
+                                            main_insns_est
+                              ? total_insns - hot_size * spec_.hotProcs -
+                                    main_insns_est
+                              : spec_.coldProcs * (cold_overhead + 8);
+    uint32_t cold_mean = std::max<uint32_t>(cold_overhead + 8,
+                                            cold_total / spec_.coldProcs);
+
+    // Cold sizes vary +/-50% around the mean for a realistic size mix.
+    std::vector<uint32_t> cold_sizes(spec_.coldProcs);
+    for (uint32_t &s : cold_sizes) {
+        double factor = 0.5 + rng.nextDouble();
+        s = std::max<uint32_t>(
+            cold_overhead + 4,
+            static_cast<uint32_t>(factor *
+                                  static_cast<double>(cold_mean)));
+    }
+
+    // ---- Data layout ------------------------------------------------
+    unsigned num_procs = spec_.hotProcs + spec_.coldProcs;
+    uint32_t proc_data_bytes = spec_.dataBytesPerProc * num_procs;
+    uint32_t table_offset =
+        static_cast<uint32_t>(alignUp(proc_data_bytes, 8));
+
+    auto proc_data_addr = [&](unsigned proc_ordinal) {
+        return prog::layout::dataBase +
+               proc_ordinal * spec_.dataBytesPerProc;
+    };
+
+    // ---- Hot procedures ----------------------------------------------
+    for (unsigned h = 0; h < spec_.hotProcs; ++h) {
+        ProcedureBuilder b("hot_" + std::to_string(h));
+        b.lui(A0, static_cast<uint16_t>(proc_data_addr(h) >> 16));
+        b.ori(A0, A0, static_cast<uint16_t>(proc_data_addr(h)));
+        b.addiu(T8, Zero, static_cast<int16_t>(spec_.hotLoopIters));
+        Label loop = b.newLabel();
+        b.bind(loop);
+        emitBody(b, pool, rng, spec_, hot_size - hot_overhead);
+        b.addiu(T8, T8, -1);
+        b.bgtz(T8, loop);
+        b.addu(V0, V0, T1);
+        b.jr(Ra);
+        program.procs.push_back(b.take());
+    }
+
+    // ---- Cold procedures ----------------------------------------------
+    for (unsigned c = 0; c < spec_.coldProcs; ++c) {
+        ProcedureBuilder b("cold_" + std::to_string(c));
+        uint32_t addr = proc_data_addr(spec_.hotProcs + c);
+        b.lui(A0, static_cast<uint16_t>(addr >> 16));
+        b.ori(A0, A0, static_cast<uint16_t>(addr));
+        emitBody(b, pool, rng, spec_, cold_sizes[c] - cold_overhead);
+        b.addu(V0, V0, T0);
+        b.jr(Ra);
+        program.procs.push_back(b.take());
+    }
+
+    // ---- Dynamic budget: outer iterations ----------------------------
+    // Estimated dynamic instructions per outer iteration.
+    double hot_iter_cost =
+        static_cast<double>(spec_.hotProcs) *
+        (static_cast<double>(spec_.hotLoopIters) *
+             (static_cast<double>(hot_size - hot_overhead) + 2.0) +
+         6.0);
+    double cold_iter_cost =
+        static_cast<double>(spec_.coldCallsPerIter) *
+        (static_cast<double>(cold_mean) + 3.0);
+    double per_iter = hot_iter_cost + cold_iter_cost + 4.0;
+    auto outer_iters = static_cast<uint32_t>(std::max(
+        1.0, static_cast<double>(spec_.targetDynamicInsns) / per_iter));
+
+    // ---- Indirect-call table ------------------------------------------
+    // One entry per cold call for the whole run; targets are
+    // Zipf-skewed over the cold population so a few procedures cause
+    // most of the cold misses (what selective compression ranks on).
+    uint64_t table_entries =
+        static_cast<uint64_t>(outer_iters) * spec_.coldCallsPerIter;
+    ZipfSampler cold_pick(spec_.coldProcs, spec_.coldZipfTheta);
+    program.data.resize(table_offset + table_entries * 4, 0);
+    unsigned burst = std::max(1u, spec_.coldBurst);
+    for (uint64_t e = 0; e < table_entries;) {
+        auto target = static_cast<int32_t>(spec_.hotProcs +
+                                           cold_pick.sample(rng));
+        for (unsigned r = 0; r < burst && e < table_entries; ++r, ++e) {
+            prog::DataReloc reloc;
+            reloc.offset = static_cast<uint32_t>(table_offset + e * 4);
+            reloc.proc = target;
+            program.dataRelocs.push_back(reloc);
+        }
+    }
+    program.dataSize = static_cast<uint32_t>(program.data.size());
+
+    // ---- main ----------------------------------------------------------
+    {
+        ProcedureBuilder b("main");
+        uint32_t table_addr = prog::layout::dataBase + table_offset;
+        b.li32(S2, table_addr);
+        b.li32(S7, outer_iters);
+        Label outer = b.newLabel();
+        b.bind(outer);
+        for (unsigned h = 0; h < spec_.hotProcs; ++h)
+            b.jal(static_cast<int32_t>(h));
+        for (unsigned k = 0; k < spec_.coldCallsPerIter; ++k) {
+            b.lw(T0, 0, S2);
+            b.addiu(S2, S2, 4);
+            b.jalr(Ra, T0);
+        }
+        b.addiu(S7, S7, -1);
+        b.bgtz(S7, outer);
+        b.halt(0);
+        program.procs.push_back(b.take());
+        program.entry = static_cast<int32_t>(program.procs.size()) - 1;
+    }
+
+    program.check();
+    realizedUniques_ = pool.uniques();
+    return program;
+}
+
+} // namespace rtd::workload

@@ -1,0 +1,227 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+
+namespace rtd::cache {
+namespace {
+
+CacheConfig
+smallConfig()
+{
+    // 4 sets x 2 ways x 32 B lines = 256 B: easy to reason about.
+    return CacheConfig{256, 32, 2};
+}
+
+TEST(CacheConfig, GeometryDerivation)
+{
+    CacheConfig paper_icache{16 * 1024, 32, 2};
+    EXPECT_EQ(paper_icache.numSets(), 256u);
+    CacheConfig paper_dcache{8 * 1024, 16, 2};
+    EXPECT_EQ(paper_dcache.numSets(), 256u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache("c", smallConfig());
+    EXPECT_FALSE(cache.access(0x1000));
+    uint8_t line[32] = {};
+    line[0] = 0xab;
+    cache.fillLine(0x1000, line);
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_EQ(cache.read8(0x1000), 0xab);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    Cache cache("c", smallConfig());
+    uint8_t line[32];
+    for (int i = 0; i < 32; ++i)
+        line[i] = static_cast<uint8_t>(i);
+    cache.fillLine(0x2000, line);
+    EXPECT_TRUE(cache.access(0x2000));
+    EXPECT_TRUE(cache.access(0x201c));
+    EXPECT_EQ(cache.read32(0x2004), 0x07060504u);
+    EXPECT_EQ(cache.read16(0x2002), 0x0302u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache("c", smallConfig());
+    uint8_t line[32] = {};
+    // Three addresses mapping to set 0 (line 32 B, 4 sets => set stride
+    // 128 B).
+    cache.fillLine(0x0000, line);
+    cache.fillLine(0x0080, line);
+    // Touch 0x0000 so 0x0080 is LRU.
+    EXPECT_TRUE(cache.access(0x0000));
+    Eviction ev = cache.fillLine(0x0100, line);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.addr, 0x0080u);
+    EXPECT_TRUE(cache.probe(0x0000));
+    EXPECT_FALSE(cache.probe(0x0080));
+    EXPECT_TRUE(cache.probe(0x0100));
+}
+
+TEST(Cache, DirtyEvictionReportsDataForWriteback)
+{
+    Cache cache("c", smallConfig());
+    uint8_t line[32] = {};
+    cache.fillLine(0x0000, line);
+    cache.write32(0x0008, 0xdeadbeef);
+    cache.fillLine(0x0080, line);
+    uint8_t wb[32] = {};
+    Eviction ev = cache.fillLine(0x0100, line, wb);  // evicts one of them
+    // Fill order + LRU: 0x0000 is LRU after 0x0080's fill.
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.addr, 0x0000u);
+    uint32_t value;
+    std::memcpy(&value, wb + 8, 4);
+    EXPECT_EQ(value, 0xdeadbeefu);
+}
+
+TEST(Cache, SwicAllocatesOnAbsentLine)
+{
+    Cache cache("c", smallConfig());
+    EXPECT_FALSE(cache.probe(0x3000));
+    cache.swicWrite(0x3000, 0x11111111);
+    EXPECT_TRUE(cache.probe(0x3000));
+    EXPECT_EQ(cache.swicAllocs(), 1u);
+    // Subsequent swics to the same line reuse the allocation.
+    cache.swicWrite(0x3004, 0x22222222);
+    cache.swicWrite(0x301c, 0x33333333);
+    EXPECT_EQ(cache.swicAllocs(), 1u);
+    EXPECT_EQ(cache.read32(0x3000), 0x11111111u);
+    EXPECT_EQ(cache.read32(0x3004), 0x22222222u);
+    EXPECT_EQ(cache.read32(0x301c), 0x33333333u);
+}
+
+TEST(Cache, SwicLineIsNotDirty)
+{
+    // swic installs instruction data; I-lines are never written back.
+    Cache cache("c", smallConfig());
+    for (int w = 0; w < 8; ++w)
+        cache.swicWrite(0x3000 + w * 4, 0x55u);
+    uint8_t line[32] = {};
+    // Evicting the swic'd line must not report dirty.
+    cache.fillLine(0x3080, line);
+    Eviction ev = cache.fillLine(0x3100, line);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_FALSE(ev.dirty);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache cache("c", smallConfig());
+    uint8_t line[32] = {};
+    cache.fillLine(0x0000, line);
+    cache.fillLine(0x1000, line);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x0000));
+    EXPECT_FALSE(cache.probe(0x1000));
+}
+
+TEST(Cache, MissRatio)
+{
+    Cache cache("c", smallConfig());
+    uint8_t line[32] = {};
+    cache.access(0x0000);  // miss
+    cache.fillLine(0x0000, line);
+    cache.access(0x0000);  // hit
+    cache.access(0x0004);  // hit
+    cache.access(0x0008);  // hit
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.25);
+    cache.resetStats();
+    EXPECT_EQ(cache.accesses(), 0u);
+}
+
+TEST(Cache, InvalidateRangeDropsOnlyCoveredLines)
+{
+    Cache cache("c", smallConfig());
+    uint8_t line[32] = {};
+    cache.fillLine(0x1000, line);
+    cache.fillLine(0x1020, line);
+    cache.fillLine(0x1040, line);
+    // Invalidate the middle line plus a byte of the next.
+    unsigned dropped = cache.invalidateRange(0x1020, 0x21);
+    EXPECT_EQ(dropped, 2u);
+    EXPECT_TRUE(cache.probe(0x1000));
+    EXPECT_FALSE(cache.probe(0x1020));
+    EXPECT_FALSE(cache.probe(0x1040));
+}
+
+TEST(Cache, FlushRangeWritesBackDirtyLines)
+{
+    Cache cache("c", smallConfig());
+    uint8_t line[32] = {};
+    cache.fillLine(0x2000, line);
+    cache.fillLine(0x2020, line);
+    cache.write32(0x2004, 0xfeedface);  // dirty first line only
+    std::vector<std::pair<uint32_t, uint32_t>> written;
+    unsigned dirty = cache.flushRange(
+        0x2000, 0x40, [&](uint32_t addr, const uint8_t *data) {
+            uint32_t value;
+            std::memcpy(&value, data + 4, 4);
+            written.push_back({addr, value});
+        });
+    EXPECT_EQ(dirty, 1u);
+    ASSERT_EQ(written.size(), 1u);
+    EXPECT_EQ(written[0].first, 0x2000u);
+    EXPECT_EQ(written[0].second, 0xfeedfaceu);
+    // Both lines are gone afterwards.
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_FALSE(cache.probe(0x2020));
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    EXPECT_EXIT((Cache("c", CacheConfig{100, 32, 2})),
+                ::testing::ExitedWithCode(1), "geometry");
+    EXPECT_EXIT((Cache("c", CacheConfig{1024, 24, 2})),
+                ::testing::ExitedWithCode(1), "geometry");
+}
+
+TEST(CacheDeath, DataAccessToAbsentLinePanics)
+{
+    EXPECT_DEATH(
+        {
+            Cache cache("c", smallConfig());
+            cache.read32(0x1234 & ~3u);
+        },
+        "absent line");
+}
+
+/** LRU property: filling N+1 distinct lines into an N-way set always
+ *  evicts the oldest untouched line, for several associativities. */
+class LruProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LruProperty, OldestIsVictim)
+{
+    unsigned assoc = GetParam();
+    CacheConfig config{assoc * 64, 64, assoc};  // one set
+    Cache cache("c", config);
+    std::vector<uint8_t> line(64, 0);
+    for (unsigned i = 0; i <= assoc; ++i) {
+        Eviction ev = cache.fillLine(i * 64, line.data());
+        if (i < assoc) {
+            EXPECT_FALSE(ev.valid);
+        } else {
+            EXPECT_TRUE(ev.valid);
+            EXPECT_EQ(ev.addr, 0u);  // first line filled is the oldest
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, LruProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace rtd::cache

@@ -1,0 +1,303 @@
+/** @file Unit + property tests for the three compression engines. */
+
+#include <gtest/gtest.h>
+
+#include "compress/bitstream.h"
+#include "compress/codepack.h"
+#include "compress/dictionary.h"
+#include "compress/lzrw1.h"
+#include "isa/isa.h"
+#include "program/program.h"
+#include "support/rng.h"
+
+namespace rtd::compress {
+namespace {
+
+/** A synthetic instruction stream with controlled repetition. */
+std::vector<uint32_t>
+makeStream(size_t n, size_t uniques, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> pool;
+    pool.reserve(uniques);
+    for (size_t i = 0; i < uniques; ++i)
+        pool.push_back(static_cast<uint32_t>(rng.next()));
+    std::vector<uint32_t> words(n);
+    for (size_t i = 0; i < n; ++i)
+        words[i] = pool[rng.nextBelow(uniques)];
+    return words;
+}
+
+TEST(BitStream, RoundTripMixedWidths)
+{
+    BitWriter bw;
+    bw.put(0b101, 3);
+    bw.put(0xbeef, 16);
+    bw.put(1, 1);
+    bw.put(0x3f, 6);
+    bw.alignByte();
+    bw.put(0xff, 8);
+    auto bytes = bw.take();
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(br.get(3), 0b101u);
+    EXPECT_EQ(br.get(16), 0xbeefu);
+    EXPECT_EQ(br.get(1), 1u);
+    EXPECT_EQ(br.get(6), 0x3fu);
+    br.alignByte();
+    EXPECT_EQ(br.get(8), 0xffu);
+}
+
+TEST(BitStream, MsbFirstWithinBytes)
+{
+    BitWriter bw;
+    bw.put(1, 1);  // single 1 bit -> 0x80
+    auto bytes = bw.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0x80u);
+}
+
+TEST(Dictionary, RoundTripSmall)
+{
+    std::vector<uint32_t> words = {5, 5, 7, 5, 9, 7};
+    auto compressed = DictionaryCompressor::compress(words);
+    EXPECT_EQ(compressed.dictionary.size(), 3u);
+    EXPECT_EQ(compressed.indices.size(), 6u);
+    EXPECT_EQ(DictionaryCompressor::decompress(compressed), words);
+}
+
+TEST(Dictionary, CompressedSizeFormula)
+{
+    // Paper section 3.1: 2 bytes per instruction + 4 per unique.
+    std::vector<uint32_t> words = makeStream(1000, 100, 3);
+    auto compressed = DictionaryCompressor::compress(words);
+    EXPECT_EQ(compressed.compressedBytes(),
+              1000u * 2 + compressed.dictionary.size() * 4);
+}
+
+TEST(Dictionary, ImageAddressMapping)
+{
+    // The key property (section 3.1): codeword address is computable
+    // from the native address with no mapping table.
+    std::vector<uint32_t> words = makeStream(64, 16, 4);
+    uint32_t decomp_base = 0x00400000;
+    CompressedImage image =
+        DictionaryCompressor::buildImage(words, decomp_base);
+    const CompressedSegment *indices = image.segment(".indices");
+    const CompressedSegment *dict = image.segment(".dictionary");
+    ASSERT_NE(indices, nullptr);
+    ASSERT_NE(dict, nullptr);
+    EXPECT_EQ(image.c0[isa::C0IndexBase], indices->base);
+    EXPECT_EQ(image.c0[isa::C0DictBase], dict->base);
+    EXPECT_EQ(image.c0[isa::C0DecompBase], decomp_base);
+
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint32_t native_addr = decomp_base + static_cast<uint32_t>(i) * 4;
+        uint32_t index_addr =
+            indices->base + ((native_addr - decomp_base) >> 1);
+        uint32_t off = index_addr - indices->base;
+        uint16_t idx = static_cast<uint16_t>(
+            indices->bytes[off] | indices->bytes[off + 1] << 8);
+        uint32_t word = static_cast<uint32_t>(dict->bytes[idx * 4]) |
+                        static_cast<uint32_t>(dict->bytes[idx * 4 + 1])
+                            << 8 |
+                        static_cast<uint32_t>(dict->bytes[idx * 4 + 2])
+                            << 16 |
+                        static_cast<uint32_t>(dict->bytes[idx * 4 + 3])
+                            << 24;
+        EXPECT_EQ(word, words[i]) << "at instruction " << i;
+    }
+}
+
+/** Dictionary round-trip must hold for any repetition profile. */
+class DictionaryProperty
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(DictionaryProperty, RoundTrip)
+{
+    auto [n, uniques] = GetParam();
+    std::vector<uint32_t> words = makeStream(n, uniques, n + uniques);
+    auto compressed = DictionaryCompressor::compress(words);
+    EXPECT_LE(compressed.dictionary.size(), uniques);
+    EXPECT_EQ(DictionaryCompressor::decompress(compressed), words);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, DictionaryProperty,
+    ::testing::Values(std::pair<size_t, size_t>{16, 1},
+                      std::pair<size_t, size_t>{1000, 10},
+                      std::pair<size_t, size_t>{1000, 999},
+                      std::pair<size_t, size_t>{4096, 256},
+                      std::pair<size_t, size_t>{10000, 5000}));
+
+TEST(CodePack, RoundTripSmall)
+{
+    std::vector<uint32_t> words = makeStream(64, 16, 5);
+    auto compressed = CodePack::compress(words);
+    auto out = CodePack::decompress(compressed);
+    ASSERT_GE(out.size(), words.size());
+    for (size_t i = 0; i < words.size(); ++i)
+        EXPECT_EQ(out[i], words[i]) << "at " << i;
+}
+
+TEST(CodePack, PadsToWholeGroups)
+{
+    std::vector<uint32_t> words(19, 0x12345678);
+    auto compressed = CodePack::compress(words);
+    EXPECT_EQ(compressed.numInsns, 32u);
+    auto out = CodePack::decompress(compressed);
+    for (size_t i = 19; i < 32; ++i)
+        EXPECT_EQ(out[i], isa::nopWord());
+}
+
+TEST(CodePack, GroupsAreByteAlignedAndMapped)
+{
+    std::vector<uint32_t> words = makeStream(160, 64, 6);
+    auto compressed = CodePack::compress(words);
+    // 10 groups -> 5 packed pair entries (IBM-style index table).
+    EXPECT_EQ(compressed.mapTable.size(), 5u);
+    EXPECT_EQ(compressed.groupOffset(0), 0u);
+    for (size_t g = 1; g < 10; ++g) {
+        EXPECT_GT(compressed.groupOffset(g),
+                  compressed.groupOffset(g - 1));
+    }
+    // Random access to any group must reproduce its 16 instructions.
+    uint32_t group[16];
+    CodePack::decompressGroup(compressed, 7, group);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(group[i], words[7 * 16 + i]);
+}
+
+TEST(CodePack, HalfwordRepetitionBeatsDictionary)
+{
+    // CodePack exploits halfword repetition that whole-word dictionary
+    // compression cannot see: instructions pairing a common opcode half
+    // with a varying immediate half are all distinct words (costing the
+    // dictionary 4 bytes each) but compress to short codewords here —
+    // the paper's Table 2 relationship.
+    Rng rng(7);
+    std::vector<uint16_t> highs(200), lows(600);
+    for (auto &h : highs)
+        h = static_cast<uint16_t>(rng.next());
+    for (auto &l : lows)
+        l = static_cast<uint16_t>(rng.next());
+    std::vector<uint32_t> words(4096);
+    for (auto &w : words) {
+        w = static_cast<uint32_t>(highs[rng.nextBelow(highs.size())])
+                << 16 |
+            lows[rng.nextBelow(lows.size())];
+    }
+    auto cp = CodePack::compress(words);
+    auto dict = DictionaryCompressor::compress(words);
+    // Most word pairings are unique, so the dictionary balloons...
+    EXPECT_GT(dict.dictionary.size(), 2000u);
+    // ...while CodePack stays compact.
+    EXPECT_LT(cp.compressedBytes(), dict.compressedBytes());
+    // And the round trip still holds.
+    auto out = CodePack::decompress(cp);
+    for (size_t i = 0; i < words.size(); ++i)
+        ASSERT_EQ(out[i], words[i]);
+}
+
+TEST(CodePack, EscapesSurviveRandomData)
+{
+    // Fully random words exercise the escape path heavily.
+    Rng rng(11);
+    std::vector<uint32_t> words(512);
+    for (auto &w : words)
+        w = static_cast<uint32_t>(rng.next());
+    auto compressed = CodePack::compress(words);
+    auto out = CodePack::decompress(compressed);
+    for (size_t i = 0; i < words.size(); ++i)
+        EXPECT_EQ(out[i], words[i]);
+}
+
+/** CodePack round-trip across repetition profiles. */
+class CodePackProperty
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(CodePackProperty, RoundTrip)
+{
+    auto [n, uniques] = GetParam();
+    std::vector<uint32_t> words = makeStream(n, uniques, 2 * n + uniques);
+    auto compressed = CodePack::compress(words);
+    auto out = CodePack::decompress(compressed);
+    for (size_t i = 0; i < words.size(); ++i)
+        ASSERT_EQ(out[i], words[i]) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, CodePackProperty,
+    ::testing::Values(std::pair<size_t, size_t>{16, 1},
+                      std::pair<size_t, size_t>{256, 8},
+                      std::pair<size_t, size_t>{1024, 300},
+                      std::pair<size_t, size_t>{1024, 1000},
+                      std::pair<size_t, size_t>{8192, 2000}));
+
+TEST(Lzrw1, RoundTripText)
+{
+    std::string text =
+        "the quick brown fox jumps over the lazy dog and then "
+        "the quick brown fox jumps over the lazy dog again and again";
+    std::vector<uint8_t> src(text.begin(), text.end());
+    auto compressed = Lzrw1::compress(src);
+    EXPECT_LT(compressed.size(), src.size());
+    EXPECT_EQ(Lzrw1::decompress(compressed, src.size()), src);
+}
+
+TEST(Lzrw1, IncompressibleDataSurvives)
+{
+    Rng rng(13);
+    std::vector<uint8_t> src(4096);
+    for (auto &b : src)
+        b = static_cast<uint8_t>(rng.next());
+    auto compressed = Lzrw1::compress(src);
+    EXPECT_EQ(Lzrw1::decompress(compressed, src.size()), src);
+}
+
+TEST(Lzrw1, EmptyInput)
+{
+    std::vector<uint8_t> src;
+    auto compressed = Lzrw1::compress(src);
+    EXPECT_EQ(Lzrw1::decompress(compressed, 0), src);
+}
+
+TEST(Lzrw1, LongRunsCompressWell)
+{
+    std::vector<uint8_t> src(10000, 0x41);
+    auto compressed = Lzrw1::compress(src);
+    EXPECT_LT(compressed.size(), src.size() / 4);
+    EXPECT_EQ(Lzrw1::decompress(compressed, src.size()), src);
+}
+
+/** LZRW1 round-trip over mixed entropy profiles. */
+class Lzrw1Property : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Lzrw1Property, RoundTrip)
+{
+    unsigned alphabet = GetParam();
+    Rng rng(alphabet * 7919);
+    std::vector<uint8_t> src(20000);
+    for (auto &b : src)
+        b = static_cast<uint8_t>(rng.nextBelow(alphabet));
+    auto compressed = Lzrw1::compress(src);
+    EXPECT_EQ(Lzrw1::decompress(compressed, src.size()), src);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, Lzrw1Property,
+                         ::testing::Values(1u, 2u, 4u, 16u, 64u, 256u));
+
+TEST(Scheme, Names)
+{
+    EXPECT_STREQ(schemeName(Scheme::None), "native");
+    EXPECT_STREQ(schemeName(Scheme::Dictionary), "dictionary");
+    EXPECT_STREQ(schemeName(Scheme::CodePack), "codepack");
+}
+
+} // namespace
+} // namespace rtd::compress

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Integration tests: the full generate -> link -> compress -> simulate
+ * pipeline, including selective compression, on a small workload.
+ */
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace rtd::core {
+namespace {
+
+using compress::Scheme;
+using profile::SelectionPolicy;
+
+class SystemIntegration : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        workload::WorkloadGenerator gen(workload::tinySpec());
+        program_ = gen.generate();
+        machine_ = paperMachine();
+        machine_.maxUserInsns = 20'000'000;
+        native_ = runNative(program_, machine_);
+        ASSERT_TRUE(native_.stats.halted);
+    }
+
+    prog::Program program_;
+    cpu::CpuConfig machine_;
+    SystemResult native_;
+};
+
+TEST_F(SystemIntegration, NativeRunHasNoCompressionArtifacts)
+{
+    EXPECT_EQ(native_.compressedPayloadBytes, 0u);
+    EXPECT_EQ(native_.stats.compressedMisses, 0u);
+    EXPECT_EQ(native_.stats.exceptions, 0u);
+    EXPECT_EQ(native_.nativeRegionBytes, native_.originalTextBytes);
+    EXPECT_DOUBLE_EQ(native_.compressionRatio(), 1.0);
+}
+
+TEST_F(SystemIntegration, AllSchemesComputeIdenticalResults)
+{
+    for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
+        for (bool rf : {false, true}) {
+            SystemResult result =
+                runCompressed(program_, scheme, rf, machine_);
+            EXPECT_TRUE(result.stats.halted);
+            EXPECT_EQ(result.stats.resultValue,
+                      native_.stats.resultValue)
+                << compress::schemeName(scheme) << " rf=" << rf;
+            EXPECT_EQ(result.stats.userInsns, native_.stats.userInsns);
+        }
+    }
+}
+
+TEST_F(SystemIntegration, CompressedProgramsAreSmallerAndSlower)
+{
+    SystemResult dict =
+        runCompressed(program_, Scheme::Dictionary, false, machine_);
+    SystemResult cp =
+        runCompressed(program_, Scheme::CodePack, false, machine_);
+
+    // Size: both compress; CodePack compresses more (Table 2).
+    EXPECT_LT(dict.compressionRatio(), 1.0);
+    EXPECT_LT(cp.compressionRatio(), dict.compressionRatio());
+
+    // Speed: both slow down; CodePack slows down more (Table 3).
+    EXPECT_GT(slowdown(dict, native_), 1.0);
+    EXPECT_GT(slowdown(cp, native_), slowdown(dict, native_));
+}
+
+TEST_F(SystemIntegration, SecondRegisterFileHelpsDictionaryMore)
+{
+    SystemResult d = runCompressed(program_, Scheme::Dictionary, false,
+                                   machine_);
+    SystemResult drf = runCompressed(program_, Scheme::Dictionary, true,
+                                     machine_);
+    SystemResult cp = runCompressed(program_, Scheme::CodePack, false,
+                                    machine_);
+    SystemResult cprf = runCompressed(program_, Scheme::CodePack, true,
+                                      machine_);
+
+    EXPECT_LT(drf.stats.cycles, d.stats.cycles);
+    EXPECT_LE(cprf.stats.cycles, cp.stats.cycles);
+    // Relative benefit is much larger for the dictionary handler
+    // (section 5.2: RF halves dictionary overhead, barely moves
+    // CodePack).
+    double d_gain = static_cast<double>(d.stats.cycles - drf.stats.cycles) /
+                    static_cast<double>(d.stats.cycles);
+    double cp_gain =
+        static_cast<double>(cp.stats.cycles - cprf.stats.cycles) /
+        static_cast<double>(cp.stats.cycles);
+    EXPECT_GT(d_gain, cp_gain);
+}
+
+TEST_F(SystemIntegration, ProfilingCountsAddUp)
+{
+    SystemConfig config;
+    config.cpu = machine_;
+    config.profiling = true;
+    System system(program_, config);
+    SystemResult result = system.run();
+
+    uint64_t exec_total = result.profile.totalExec();
+    EXPECT_EQ(exec_total, result.stats.userInsns);
+    EXPECT_EQ(result.profile.totalMisses(), result.stats.icacheMisses);
+    // main executes at least the outer-loop instructions.
+    int32_t main_idx = program_.findProc("main");
+    ASSERT_GE(main_idx, 0);
+    EXPECT_GT(result.profile.execInsns[main_idx], 0u);
+}
+
+TEST_F(SystemIntegration, SelectiveCompressionEndpoints)
+{
+    profile::ProcedureProfile profile =
+        profileProgram(program_, machine_);
+
+    // Threshold 0: fully compressed.
+    auto regions0 = profile::selectNative(
+        profile, SelectionPolicy::ExecutionBased, 0.0);
+    for (prog::Region r : regions0)
+        EXPECT_EQ(r, prog::Region::Compressed);
+
+    // Threshold 1: every procedure that executed anything goes native.
+    auto regions1 = profile::selectNative(
+        profile, SelectionPolicy::ExecutionBased, 1.0);
+    size_t native_count = 0;
+    for (size_t i = 0; i < regions1.size(); ++i) {
+        if (regions1[i] == prog::Region::Native) {
+            ++native_count;
+            EXPECT_GT(profile.execInsns[i], 0u);
+        }
+    }
+    EXPECT_GT(native_count, 0u);
+}
+
+TEST_F(SystemIntegration, HybridProgramsRunCorrectlyAtAllThresholds)
+{
+    profile::ProcedureProfile profile =
+        profileProgram(program_, machine_);
+    for (SelectionPolicy policy : {SelectionPolicy::ExecutionBased,
+                                   SelectionPolicy::MissBased}) {
+        for (double threshold : profile::selectionThresholds) {
+            auto regions =
+                profile::selectNative(profile, policy, threshold);
+            SystemResult hybrid = runCompressed(
+                program_, Scheme::Dictionary, false, machine_, regions);
+            EXPECT_TRUE(hybrid.stats.halted);
+            EXPECT_EQ(hybrid.stats.resultValue,
+                      native_.stats.resultValue)
+                << policyName(policy) << "@" << threshold;
+            // Hybrid sizes sit between fully compressed and native.
+            EXPECT_LE(hybrid.compressionRatio(), 1.05);
+        }
+    }
+}
+
+TEST_F(SystemIntegration, MoreNativeCodeCostsMoreBytes)
+{
+    profile::ProcedureProfile profile =
+        profileProgram(program_, machine_);
+    double prev_ratio = -1.0;
+    for (double threshold : {0.0, 0.20, 0.50, 1.0}) {
+        auto regions = profile::selectNative(
+            profile, SelectionPolicy::ExecutionBased, threshold);
+        SystemResult hybrid = runCompressed(
+            program_, Scheme::Dictionary, false, machine_, regions);
+        EXPECT_GE(hybrid.compressionRatio(), prev_ratio - 1e-9);
+        prev_ratio = hybrid.compressionRatio();
+    }
+}
+
+TEST_F(SystemIntegration, Lzrw1RatioIsReasonable)
+{
+    double ratio = lzrw1TextRatio(program_);
+    EXPECT_GT(ratio, 20.0);
+    EXPECT_LT(ratio, 100.0);
+}
+
+TEST_F(SystemIntegration, MemoryLayoutHasNoOverlaps)
+{
+    profile::ProcedureProfile profile =
+        profileProgram(program_, machine_);
+    auto regions = profile::selectNative(
+        profile, SelectionPolicy::ExecutionBased, 0.20);
+
+    SystemConfig config;
+    config.cpu = machine_;
+    config.scheme = Scheme::CodePack;
+    config.regions = regions;
+    System system(program_, config);
+
+    // Collect every occupied [base, end) interval.
+    struct Range { uint64_t lo, hi; std::string name; };
+    std::vector<Range> ranges;
+    const prog::LoadedImage &image = system.image();
+    if (!image.decompText.empty()) {
+        ranges.push_back({image.decompBase,
+                          image.decompBase + image.decompText.size() * 4,
+                          "decomp"});
+    }
+    if (!image.nativeText.empty()) {
+        ranges.push_back({image.nativeBase,
+                          image.nativeBase + image.nativeText.size() * 4,
+                          "native"});
+    }
+    ranges.push_back({image.dataBase, image.dataBase + image.dataSize,
+                      ".data"});
+    for (const auto &seg : system.compressedImage().segments) {
+        ranges.push_back({seg.base, seg.base + seg.bytes.size(),
+                          seg.name});
+    }
+    for (size_t i = 0; i < ranges.size(); ++i) {
+        for (size_t j = i + 1; j < ranges.size(); ++j) {
+            bool overlap = ranges[i].lo < ranges[j].hi &&
+                           ranges[j].lo < ranges[i].hi;
+            EXPECT_FALSE(overlap)
+                << ranges[i].name << " overlaps " << ranges[j].name;
+        }
+    }
+}
+
+TEST_F(SystemIntegration, ChecksumIndependentOfLayout)
+{
+    // Two very different region assignments must compute the same
+    // program result (execution is layout-independent by construction).
+    std::vector<prog::Region> odd_even(program_.procs.size());
+    for (size_t i = 0; i < odd_even.size(); ++i) {
+        odd_even[i] =
+            (i % 2) ? prog::Region::Native : prog::Region::Compressed;
+    }
+    SystemResult a = runCompressed(program_, Scheme::Dictionary, false,
+                                   machine_, odd_even);
+    for (prog::Region &r : odd_even) {
+        r = r == prog::Region::Native ? prog::Region::Compressed
+                                      : prog::Region::Native;
+    }
+    SystemResult b = runCompressed(program_, Scheme::Dictionary, false,
+                                   machine_, odd_even);
+    EXPECT_EQ(a.stats.resultValue, native_.stats.resultValue);
+    EXPECT_EQ(b.stats.resultValue, native_.stats.resultValue);
+    EXPECT_EQ(a.stats.userInsns, b.stats.userInsns);
+    // ... but their timing differs: placement changes conflict misses.
+    EXPECT_NE(a.stats.cycles, b.stats.cycles);
+}
+
+TEST(DictionaryCapacity, OverflowingProgramFallsBackToHybrid)
+{
+    // A program with more unique instructions than a 16-bit index can
+    // address (paper section 3.1): the capacity policy compresses
+    // procedures until the dictionary fills and leaves the remainder
+    // native, and the hybrid still runs correctly.
+    workload::WorkloadSpec spec = workload::tinySpec(41);
+    spec.targetTextBytes = 1024 * 1024;
+    spec.uniqueFraction = 0.55;
+    spec.coldProcs = 200;
+    spec.targetDynamicInsns = 300'000;
+    workload::WorkloadGenerator gen(spec);
+    prog::Program program = gen.generate();
+
+    // Confirm the program really overflows a full-compression link.
+    prog::LoadedImage full = prog::linkFullyCompressed(program);
+    std::unordered_set<uint32_t> uniques(full.decompText.begin(),
+                                         full.decompText.end());
+    ASSERT_GT(uniques.size(), 65536u);
+
+    auto regions = dictionaryCapacityRegions(program);
+    size_t natives = 0;
+    for (prog::Region r : regions)
+        natives += r == prog::Region::Native;
+    EXPECT_GT(natives, 0u);
+    EXPECT_LT(natives, regions.size());
+
+    cpu::CpuConfig machine = paperMachine();
+    SystemResult native = runNative(program, machine);
+    SystemResult hybrid = runCompressed(
+        program, Scheme::Dictionary, false, machine, regions);
+    EXPECT_TRUE(hybrid.stats.halted);
+    EXPECT_EQ(hybrid.stats.resultValue, native.stats.resultValue);
+    EXPECT_LT(hybrid.compressionRatio(), 1.0);
+}
+
+/**
+ * Fuzz sweep: randomized workloads across seeds must compute identical
+ * results under every decompression scheme (the strongest end-to-end
+ * invariant of the system: decompression is semantically invisible).
+ */
+class SchemeEquivalence : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SchemeEquivalence, AllSchemesMatchNative)
+{
+    workload::WorkloadSpec spec = workload::tinySpec(GetParam());
+    spec.targetDynamicInsns = 60'000;
+    workload::WorkloadGenerator gen(spec);
+    prog::Program program = gen.generate();
+    cpu::CpuConfig machine = paperMachine();
+    SystemResult native = runNative(program, machine);
+    ASSERT_TRUE(native.stats.halted);
+
+    for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
+        SystemResult run =
+            runCompressed(program, scheme, GetParam() % 2 == 0, machine);
+        EXPECT_EQ(run.stats.resultValue, native.stats.resultValue)
+            << compress::schemeName(scheme);
+        EXPECT_EQ(run.stats.userInsns, native.stats.userInsns);
+    }
+    SystemConfig pconfig;
+    pconfig.cpu = machine;
+    pconfig.scheme = Scheme::ProcLzrw1;
+    System psystem(program, pconfig);
+    SystemResult pc = psystem.run();
+    EXPECT_EQ(pc.stats.resultValue, native.stats.resultValue);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemeEquivalence,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u));
+
+TEST(SystemDeterminism, SameSeedSameRun)
+{
+    workload::WorkloadGenerator gen_a(workload::tinySpec(7));
+    workload::WorkloadGenerator gen_b(workload::tinySpec(7));
+    prog::Program a = gen_a.generate();
+    prog::Program b = gen_b.generate();
+    cpu::CpuConfig machine = paperMachine();
+    SystemResult ra = runNative(a, machine);
+    SystemResult rb = runNative(b, machine);
+    EXPECT_EQ(ra.stats.cycles, rb.stats.cycles);
+    EXPECT_EQ(ra.stats.resultValue, rb.stats.resultValue);
+    EXPECT_EQ(ra.stats.icacheMisses, rb.stats.icacheMisses);
+}
+
+TEST(SystemDeterminism, DifferentSeedsDiffer)
+{
+    workload::WorkloadGenerator gen_a(workload::tinySpec(7));
+    workload::WorkloadGenerator gen_b(workload::tinySpec(8));
+    prog::Program a = gen_a.generate();
+    prog::Program b = gen_b.generate();
+    cpu::CpuConfig machine = paperMachine();
+    EXPECT_NE(runNative(a, machine).stats.resultValue,
+              runNative(b, machine).stats.resultValue);
+}
+
+} // namespace
+} // namespace rtd::core

@@ -1,0 +1,233 @@
+/** @file Unit tests for the ISA: encoding, decoding, properties. */
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "isa/isa.h"
+
+namespace rtd::isa {
+namespace {
+
+TEST(Encode, NopIsSllZero)
+{
+    Instruction inst = decode(nopWord());
+    EXPECT_EQ(inst.op, Op::Sll);
+    EXPECT_EQ(inst.rd, 0);
+    EXPECT_EQ(inst.rt, 0);
+    EXPECT_EQ(inst.shamt, 0);
+}
+
+TEST(Decode, RFormat)
+{
+    Instruction inst = decode(encodeR(Op::Addu, T0, T1, V0));
+    EXPECT_EQ(inst.op, Op::Addu);
+    EXPECT_EQ(inst.rs, T0);
+    EXPECT_EQ(inst.rt, T1);
+    EXPECT_EQ(inst.rd, V0);
+}
+
+TEST(Decode, IFormat)
+{
+    Instruction inst = decode(encodeI(Op::Addiu, Sp, T3, 0xfffc));
+    EXPECT_EQ(inst.op, Op::Addiu);
+    EXPECT_EQ(inst.rs, Sp);
+    EXPECT_EQ(inst.rt, T3);
+    EXPECT_EQ(inst.imm, 0xfffc);
+}
+
+TEST(Decode, JFormat)
+{
+    Instruction inst = decode(encodeJ(Op::Jal, 0x12345));
+    EXPECT_EQ(inst.op, Op::Jal);
+    EXPECT_EQ(inst.target, 0x12345u);
+}
+
+TEST(Decode, Extensions)
+{
+    Instruction swic;
+    swic.op = Op::Swic;
+    swic.rs = K1;
+    swic.rt = K0;
+    swic.imm = 4;
+    Instruction d = decode(encode(swic));
+    EXPECT_EQ(d.op, Op::Swic);
+    EXPECT_EQ(d.rs, K1);
+    EXPECT_EQ(d.rt, K0);
+    EXPECT_EQ(d.imm, 4);
+
+    Instruction mfc0;
+    mfc0.op = Op::Mfc0;
+    mfc0.rt = T0;
+    mfc0.rd = C0BadVa;
+    d = decode(encode(mfc0));
+    EXPECT_EQ(d.op, Op::Mfc0);
+    EXPECT_EQ(d.rt, T0);
+    EXPECT_EQ(d.rd, C0BadVa);
+
+    Instruction iret;
+    iret.op = Op::Iret;
+    EXPECT_EQ(decode(encode(iret)).op, Op::Iret);
+
+    Instruction lwx;
+    lwx.op = Op::Lwx;
+    lwx.rd = K0;
+    lwx.rs = T3;
+    lwx.rt = T2;
+    d = decode(encode(lwx));
+    EXPECT_EQ(d.op, Op::Lwx);
+    EXPECT_EQ(d.rd, K0);
+    EXPECT_EQ(d.rs, T3);
+    EXPECT_EQ(d.rt, T2);
+}
+
+TEST(Decode, InvalidEncodingsRejected)
+{
+    // Opcode 0x3e is unassigned.
+    EXPECT_EQ(decode(0x3eu << 26).op, Op::Invalid);
+    // SPECIAL funct 0x3f is unassigned.
+    EXPECT_EQ(decode(0x3fu).op, Op::Invalid);
+}
+
+/** Every operation must round-trip encode(decode(w)) == w. */
+class RoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity)
+{
+    Op op = static_cast<Op>(GetParam());
+    Instruction inst;
+    inst.op = op;
+    // Field values chosen to exercise all field positions but remain
+    // valid for every format.
+    inst.rs = 21;
+    inst.rt = 13;
+    inst.rd = 9;
+    inst.shamt = 3;
+    inst.imm = 0x7abc;
+    inst.target = 0x00abcdef & 0x03ffffff;
+
+    switch (op) {
+      case Op::Bltz: case Op::Bgez:
+        inst.rt = 0;  // rt field is the regimm selector
+        break;
+      case Op::Mfc0: case Op::Mtc0:
+        inst.rs = 0;
+        inst.rd = C0Epc;
+        break;
+      case Op::Iret:
+        inst.rs = inst.rt = inst.rd = 0;
+        inst.shamt = 0;
+        inst.imm = 0;
+        break;
+      default:
+        break;
+    }
+
+    uint32_t word = encode(inst);
+    Instruction out = decode(word);
+    EXPECT_EQ(out.op, inst.op) << opName(op);
+    EXPECT_EQ(encode(out), word) << opName(op);
+    // Decoded fields must match for the fields the format carries.
+    if (op != Op::Iret) {
+        EXPECT_EQ(disassemble(out, 0x1000), disassemble(inst, 0x1000))
+            << opName(op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RoundTrip,
+    ::testing::Range(static_cast<int>(Op::Sll),
+                     static_cast<int>(Op::NumOps)),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(opName(static_cast<Op>(info.param)));
+    });
+
+TEST(Properties, LoadsAndStores)
+{
+    EXPECT_TRUE(isLoad(Op::Lw));
+    EXPECT_TRUE(isLoad(Op::Lhu));
+    EXPECT_TRUE(isLoad(Op::Lwx));
+    EXPECT_FALSE(isLoad(Op::Sw));
+    EXPECT_TRUE(isStore(Op::Sb));
+    EXPECT_FALSE(isStore(Op::Swic));  // swic writes the I-cache, not memory
+}
+
+TEST(Properties, ControlFlow)
+{
+    EXPECT_TRUE(isCondBranch(Op::Beq));
+    EXPECT_TRUE(isCondBranch(Op::Bgez));
+    EXPECT_FALSE(isCondBranch(Op::J));
+    EXPECT_TRUE(isJump(Op::Jalr));
+    EXPECT_TRUE(isControl(Op::Iret));
+    EXPECT_FALSE(isControl(Op::Addu));
+}
+
+TEST(Properties, DestAndSourceRegs)
+{
+    Instruction add;
+    add.op = Op::Addu;
+    add.rd = V0;
+    add.rs = T0;
+    add.rt = T1;
+    EXPECT_EQ(destReg(add), V0);
+    uint8_t srcs[2];
+    EXPECT_EQ(srcRegs(add, srcs), 2u);
+    EXPECT_EQ(srcs[0], T0);
+    EXPECT_EQ(srcs[1], T1);
+
+    Instruction lw;
+    lw.op = Op::Lw;
+    lw.rt = T2;
+    lw.rs = Sp;
+    EXPECT_EQ(destReg(lw), T2);
+    EXPECT_EQ(srcRegs(lw, srcs), 1u);
+    EXPECT_EQ(srcs[0], Sp);
+
+    Instruction jal;
+    jal.op = Op::Jal;
+    EXPECT_EQ(destReg(jal), Ra);
+
+    Instruction sw;
+    sw.op = Op::Sw;
+    sw.rt = T3;
+    sw.rs = Sp;
+    EXPECT_EQ(destReg(sw), 0);
+    EXPECT_EQ(srcRegs(sw, srcs), 2u);
+}
+
+TEST(Disasm, KnownPatterns)
+{
+    EXPECT_EQ(disassembleWord(encodeR(Op::Addu, T0, T1, V0)),
+              "addu v0,t0,t1");
+    Instruction lw;
+    lw.op = Op::Lw;
+    lw.rt = T2;
+    lw.rs = Sp;
+    lw.imm = static_cast<uint16_t>(-4);
+    EXPECT_EQ(disassembleWord(encode(lw)), "lw t2,-4(sp)");
+    EXPECT_EQ(disassembleWord(nopWord()), "sll zero,zero,0");
+}
+
+TEST(Disasm, BranchTargetsUsePc)
+{
+    Instruction beq;
+    beq.op = Op::Beq;
+    beq.rs = T0;
+    beq.rt = T1;
+    beq.imm = 3;  // +3 words from pc+4
+    std::string text = disassemble(beq, 0x1000);
+    EXPECT_NE(text.find("0x1010"), std::string::npos) << text;
+}
+
+TEST(Disasm, RegisterNames)
+{
+    EXPECT_STREQ(regName(0), "zero");
+    EXPECT_STREQ(regName(29), "sp");
+    EXPECT_STREQ(regName(31), "ra");
+    EXPECT_STREQ(regName(26), "k0");
+}
+
+} // namespace
+} // namespace rtd::isa

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the MIPS16/Thumb-style 16-bit re-encoding baseline:
+ * translation rules, size accounting, semantic preservation, and the
+ * execution-overhead property the paper cites (section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "isa16/thumb.h"
+#include "program/builder.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace rtd::isa16 {
+namespace {
+
+using namespace rtd::isa;
+using prog::Label;
+using prog::ProcedureBuilder;
+using prog::Program;
+
+TEST(Translate, ShortFormsStaysSingleInstruction)
+{
+    ProcedureBuilder b("p");
+    b.addiu(T0, T0, 5);      // two-address, small imm, low regs: short
+    b.addu(T1, T0, T2);      // 3-address add exists: short
+    b.lw(T0, 8, A0);         // small scaled offset: short
+    b.jr(Ra);                // Ra is not low: extended
+    ThumbProcedure tp = translateProcedure(b.take());
+    EXPECT_EQ(tp.code.code.size(), 4u);
+    EXPECT_EQ(tp.shortCount, 3u);
+    EXPECT_EQ(tp.extendedCount, 1u);
+    EXPECT_EQ(tp.sizeBytes, 3 * 2u + 4u);
+    EXPECT_EQ(tp.insertedCount, 0u);
+}
+
+TEST(Translate, ExtendedForms)
+{
+    ProcedureBuilder b("p");
+    b.addiu(T0, T1, 20);     // rt != rs and imm too big for imm4 form
+    b.addiu(T0, T0, 1000);   // immediate too large
+    b.addiu(T8, T8, 1);      // high register
+    b.ori(T0, T0, 3);        // no immediate logicals in 16-bit ISAs
+    b.lui(T0, 0x1000);       // extended
+    b.halt(0);
+    ThumbProcedure tp = translateProcedure(b.take());
+    EXPECT_EQ(tp.code.code.size(), 6u);
+    EXPECT_EQ(tp.extendedCount, 5u);
+    EXPECT_EQ(tp.sizeBytes, 5 * 4u + 2u);
+}
+
+TEST(Translate, TwoAddressLogicalInsertsMove)
+{
+    ProcedureBuilder b("p");
+    b.xor_(T0, T1, T2);      // rd not among sources: mov + op
+    b.xor_(T0, T0, T2);      // rd == rs: short
+    b.halt(0);
+    ThumbProcedure tp = translateProcedure(b.take());
+    EXPECT_EQ(tp.code.code.size(), 4u);  // mov, xor, xor, halt
+    EXPECT_EQ(tp.insertedCount, 1u);
+    // The inserted move is addu t0, t1, zero.
+    const Instruction &mov = tp.code.code[0].inst;
+    EXPECT_EQ(mov.op, Op::Addu);
+    EXPECT_EQ(mov.rd, T0);
+    EXPECT_EQ(mov.rs, T1);
+    EXPECT_EQ(mov.rt, Zero);
+}
+
+TEST(Translate, TwoRegBranchRewrittenThroughAt)
+{
+    ProcedureBuilder b("p");
+    Label out = b.newLabel();
+    b.beq(T0, T1, out);
+    b.addiu(T2, T2, 1);
+    b.bind(out);
+    b.halt(0);
+    ThumbProcedure tp = translateProcedure(b.take());
+    ASSERT_EQ(tp.code.code.size(), 4u);  // xor, beq, addiu, halt
+    EXPECT_EQ(tp.code.code[0].inst.op, Op::Xor);
+    EXPECT_EQ(tp.code.code[0].inst.rd, At);
+    EXPECT_EQ(tp.code.code[1].inst.op, Op::Beq);
+    EXPECT_EQ(tp.code.code[1].inst.rs, At);
+    EXPECT_EQ(tp.code.code[1].inst.rt, Zero);
+    EXPECT_EQ(tp.insertedCount, 1u);
+}
+
+TEST(Translate, LabelsSurviveInsertedInstructions)
+{
+    // A backward branch over code that grows must still hit its target.
+    ProcedureBuilder b("p");
+    b.addiu(T0, T0, 10);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.xor_(T1, T2, T3);      // grows by one move
+    b.beq(T0, T1, loop);     // grows by one xor (never taken here)
+    b.addiu(T0, T0, -1);
+    b.bgtz(T0, loop);
+    b.halt(0);
+    Program program;
+    program.procs.push_back(b.take());
+    program.entry = 0;
+    ThumbProgram thumb = translateProgram(program);
+
+    cpu::CpuConfig machine = core::paperMachine();
+    machine.maxUserInsns = 100'000;
+    core::SystemResult base = core::runNative(program, machine);
+    core::SystemResult t16 = core::runNative(thumb.program, machine);
+    EXPECT_TRUE(base.stats.halted);
+    EXPECT_TRUE(t16.stats.halted);
+    EXPECT_EQ(t16.stats.resultValue, base.stats.resultValue);
+}
+
+TEST(Translate, WholeWorkloadSemanticsPreserved)
+{
+    workload::WorkloadGenerator gen(workload::tinySpec(51));
+    Program program = gen.generate();
+    ThumbProgram thumb = translateProgram(program);
+    cpu::CpuConfig machine = core::paperMachine();
+    core::SystemResult base = core::runNative(program, machine);
+    core::SystemResult t16 = core::runNative(thumb.program, machine);
+    EXPECT_EQ(t16.stats.resultValue, base.stats.resultValue);
+    EXPECT_TRUE(t16.stats.halted);
+}
+
+TEST(Translate, PaperSizeAndOverheadBands)
+{
+    // Section 3.3: 16-bit re-encoding shrinks code at the cost of more
+    // executed instructions. Published Thumb reaches ~70% on compiled
+    // code; the synthetic workloads carry more immediate-logical
+    // entropy (no 16-bit form exists for those), so the ratio lands
+    // higher — the band checks it stays between the two regimes.
+    workload::WorkloadGenerator gen(workload::tinySpec(52));
+    Program program = gen.generate();
+    ThumbProgram thumb = translateProgram(program);
+    double size_ratio =
+        static_cast<double>(thumb.textBytes16()) /
+        static_cast<double>(program.textBytes());
+    EXPECT_GT(size_ratio, 0.55);
+    EXPECT_LT(size_ratio, 0.92);
+
+    cpu::CpuConfig machine = core::paperMachine();
+    core::SystemResult base = core::runNative(program, machine);
+    core::SystemResult t16 = core::runNative(thumb.program, machine);
+    double insn_overhead =
+        static_cast<double>(t16.stats.userInsns) /
+        static_cast<double>(base.stats.userInsns);
+    EXPECT_GT(insn_overhead, 1.02);
+    EXPECT_LT(insn_overhead, 1.30);
+}
+
+TEST(Translate, SelectiveMaskKeepsProceduresNative)
+{
+    workload::WorkloadGenerator gen(workload::tinySpec(53));
+    Program program = gen.generate();
+    std::vector<uint8_t> mask(program.procs.size(), 1);
+    mask[0] = 0;  // keep hot_0 native 32-bit
+    ThumbProgram thumb = translateProgram(program, mask);
+    EXPECT_EQ(thumb.procBytes[0], program.procs[0].sizeBytes());
+    EXPECT_LT(thumb.procBytes[1], program.procs[1].sizeBytes());
+    // Untranslated procedure is bit-identical.
+    EXPECT_EQ(thumb.program.procs[0].code.size(),
+              program.procs[0].code.size());
+
+    cpu::CpuConfig machine = core::paperMachine();
+    core::SystemResult base = core::runNative(program, machine);
+    core::SystemResult hybrid = core::runNative(thumb.program, machine);
+    EXPECT_EQ(hybrid.stats.resultValue, base.stats.resultValue);
+}
+
+} // namespace
+} // namespace rtd::isa16

@@ -1,0 +1,82 @@
+/** @file Unit tests for main memory and the handler RAM. */
+
+#include <gtest/gtest.h>
+
+#include "mem/handler_ram.h"
+#include "mem/main_memory.h"
+
+namespace rtd::mem {
+namespace {
+
+TEST(MemoryTiming, BurstCyclesMatchTable1)
+{
+    MemoryTiming timing;  // 10-cycle latency, 2-cycle rate, 64-bit bus
+    EXPECT_EQ(timing.burstCycles(8), 10u);    // one beat
+    EXPECT_EQ(timing.burstCycles(16), 12u);   // D-line: 2 beats
+    EXPECT_EQ(timing.burstCycles(32), 16u);   // I-line: 4 beats
+    EXPECT_EQ(timing.burstCycles(64), 24u);
+    EXPECT_EQ(timing.burstCycles(1), 10u);    // partial beat rounds up
+    EXPECT_EQ(timing.burstCycles(0), 0u);
+}
+
+TEST(MainMemory, ReadWriteAllWidths)
+{
+    MainMemory memory;
+    memory.write32(0x1000, 0xdeadbeef);
+    EXPECT_EQ(memory.read32(0x1000), 0xdeadbeefu);
+    EXPECT_EQ(memory.read16(0x1000), 0xbeefu);
+    EXPECT_EQ(memory.read16(0x1002), 0xdeadu);
+    EXPECT_EQ(memory.read8(0x1003), 0xdeu);
+    memory.write8(0x1001, 0x42);
+    EXPECT_EQ(memory.read32(0x1000), 0xdead42efu);
+    memory.write16(0x1002, 0x1234);
+    EXPECT_EQ(memory.read32(0x1000), 0x123442efu);
+}
+
+TEST(MainMemory, UntouchedMemoryReadsZero)
+{
+    MainMemory memory;
+    EXPECT_EQ(memory.read32(0x5000), 0u);
+    EXPECT_EQ(memory.pagesAllocated(), 0u);
+}
+
+TEST(MainMemory, BlockTransfersCrossPages)
+{
+    MainMemory memory;
+    std::vector<uint8_t> src(8192);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<uint8_t>(i * 13);
+    uint32_t base = 0x2ff0;  // straddles page boundaries
+    memory.writeBlock(base, src.data(), src.size());
+    std::vector<uint8_t> dst(src.size());
+    memory.readBlock(base, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    EXPECT_GE(memory.pagesAllocated(), 2u);
+}
+
+TEST(MainMemory, SparsePagesAllocatedLazily)
+{
+    MainMemory memory;
+    memory.write8(0x0000'1000, 1);
+    memory.write8(0x7fff'0000, 2);
+    EXPECT_EQ(memory.pagesAllocated(), 2u);
+}
+
+TEST(HandlerRam, LoadFetchContains)
+{
+    HandlerRam ram;
+    EXPECT_FALSE(ram.loaded());
+    std::vector<uint32_t> code = {1, 2, 3, 4};
+    ram.load(code);
+    EXPECT_TRUE(ram.loaded());
+    EXPECT_EQ(ram.sizeBytes(), 16u);
+    EXPECT_EQ(ram.entry(), HandlerRam::base);
+    EXPECT_TRUE(ram.contains(HandlerRam::base));
+    EXPECT_TRUE(ram.contains(HandlerRam::base + 12));
+    EXPECT_FALSE(ram.contains(HandlerRam::base + 16));
+    EXPECT_FALSE(ram.contains(0x400000));
+    EXPECT_EQ(ram.fetch(HandlerRam::base + 8), 3u);
+}
+
+} // namespace
+} // namespace rtd::mem

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Paper-claims regression suite: asserts the headline qualitative
+ * results of the reproduction at reduced dynamic scale, so calibration
+ * drift in the workload generator or timing model is caught by CI
+ * rather than discovered in the bench output.
+ *
+ * Bands are deliberately loose — these tests check *shape* (orderings,
+ * thresholds, asymmetries), not absolute numbers; EXPERIMENTS.md
+ * records the precise paper-vs-measured values.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "profile/selection.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace rtd::core {
+namespace {
+
+using compress::Scheme;
+using profile::SelectionPolicy;
+
+/** Cache of generated programs + native runs per benchmark. */
+class PaperClaims : public ::testing::Test
+{
+  protected:
+    struct Prepared
+    {
+        prog::Program program;
+        SystemResult native;
+    };
+
+    static Prepared &
+    prepared(const std::string &name)
+    {
+        static std::map<std::string, Prepared> cache;
+        auto it = cache.find(name);
+        if (it == cache.end()) {
+            workload::WorkloadGenerator gen(workload::scaledSpec(
+                workload::paperBenchmark(name), 0.25));
+            Prepared p{gen.generate(), {}};
+            p.native = runNative(p.program, paperMachine());
+            it = cache.emplace(name, std::move(p)).first;
+        }
+        return it->second;
+    }
+};
+
+TEST_F(PaperClaims, Table2_CompressionRatioOrdering)
+{
+    // CodePack < dictionary < 1 for every benchmark; dictionary ratio
+    // tracks the paper's per-benchmark value within a few points.
+    for (const auto &benchmark : workload::paperBenchmarks()) {
+        Prepared &p = prepared(benchmark.spec.name);
+        SystemResult dict = runCompressed(p.program, Scheme::Dictionary,
+                                          false, paperMachine());
+        SystemResult cp = runCompressed(p.program, Scheme::CodePack,
+                                        false, paperMachine());
+        double dict_pct = 100 * dict.compressionRatio();
+        double cp_pct = 100 * cp.compressionRatio();
+        EXPECT_LT(cp_pct, dict_pct) << benchmark.spec.name;
+        EXPECT_LT(dict_pct, 100.0) << benchmark.spec.name;
+        EXPECT_NEAR(dict_pct, benchmark.paperDictRatio, 4.0)
+            << benchmark.spec.name;
+        EXPECT_NEAR(cp_pct, benchmark.paperCodePackRatio, 6.0)
+            << benchmark.spec.name;
+    }
+}
+
+TEST_F(PaperClaims, Table2_MissRatioClasses)
+{
+    // Call-oriented benchmarks miss 1-4%; loop-oriented below 0.3%.
+    for (const char *name : {"cc1", "go", "perl", "vortex"}) {
+        double miss = 100 * prepared(name).native.stats.icacheMissRatio();
+        EXPECT_GT(miss, 1.0) << name;
+        EXPECT_LT(miss, 4.5) << name;
+    }
+    for (const char *name : {"ghostscript", "ijpeg", "mpeg2enc",
+                             "pegwit"}) {
+        double miss = 100 * prepared(name).native.stats.icacheMissRatio();
+        EXPECT_LT(miss, 0.3) << name;
+    }
+}
+
+TEST_F(PaperClaims, Table3_SlowdownBounds)
+{
+    // "The execution time of dictionary programs is no more than 3
+    // times native code and the execution time of CodePack programs is
+    // no more than 18 times native code."
+    for (const auto &benchmark : workload::paperBenchmarks()) {
+        Prepared &p = prepared(benchmark.spec.name);
+        SystemResult dict = runCompressed(p.program, Scheme::Dictionary,
+                                          false, paperMachine());
+        SystemResult cp = runCompressed(p.program, Scheme::CodePack,
+                                        false, paperMachine());
+        EXPECT_LT(slowdown(dict, p.native), 3.7) << benchmark.spec.name;
+        EXPECT_LT(slowdown(cp, p.native), 18.0) << benchmark.spec.name;
+        EXPECT_GE(slowdown(dict, p.native), 1.0) << benchmark.spec.name;
+        // CodePack is never faster than the dictionary when fully
+        // compressed.
+        EXPECT_GE(slowdown(cp, p.native), slowdown(dict, p.native))
+            << benchmark.spec.name;
+    }
+}
+
+TEST_F(PaperClaims, Table3_SecondRegisterFileAsymmetry)
+{
+    // "Using a second register file reduces the overhead due to
+    // dictionary decompression by nearly half. The CodePack algorithm
+    // has only a small improvement."
+    Prepared &p = prepared("go");
+    cpu::CpuConfig machine = paperMachine();
+    SystemResult d = runCompressed(p.program, Scheme::Dictionary, false,
+                                   machine);
+    SystemResult drf = runCompressed(p.program, Scheme::Dictionary, true,
+                                     machine);
+    SystemResult cp = runCompressed(p.program, Scheme::CodePack, false,
+                                    machine);
+    SystemResult cprf = runCompressed(p.program, Scheme::CodePack, true,
+                                      machine);
+    double d_cut = (slowdown(d, p.native) - slowdown(drf, p.native)) /
+                   (slowdown(d, p.native) - 1.0);
+    double cp_cut = (slowdown(cp, p.native) - slowdown(cprf, p.native)) /
+                    (slowdown(cp, p.native) - 1.0);
+    EXPECT_GT(d_cut, 0.20);   // a substantial fraction of the overhead
+    EXPECT_LT(cp_cut, 0.10);  // barely moves CodePack
+}
+
+TEST_F(PaperClaims, Figure4_MissRatioThresholds)
+{
+    // "Once the instruction cache miss ratio is below 1%, the
+    // performance is less than 2 times slower" (dictionary); "less than
+    // 5 times slower" (CodePack).
+    for (const auto &benchmark : workload::paperBenchmarks()) {
+        Prepared &p = prepared(benchmark.spec.name);
+        if (p.native.stats.icacheMissRatio() >= 0.01)
+            continue;
+        SystemResult dict = runCompressed(p.program, Scheme::Dictionary,
+                                          false, paperMachine());
+        SystemResult cp = runCompressed(p.program, Scheme::CodePack,
+                                        false, paperMachine());
+        EXPECT_LT(slowdown(dict, p.native), 2.0) << benchmark.spec.name;
+        EXPECT_LT(slowdown(cp, p.native), 5.0) << benchmark.spec.name;
+    }
+}
+
+TEST_F(PaperClaims, Figure4_BiggerCacheNeverHurtsMuch)
+{
+    // Slowdown decreases (or stays put) as the I-cache grows 4->64 KB.
+    Prepared &p = prepared("perl");
+    double prev = 1e9;
+    for (uint32_t kb : {4u, 16u, 64u}) {
+        cpu::CpuConfig machine = paperMachine(kb * 1024);
+        SystemResult native = runNative(p.program, machine);
+        SystemResult dict = runCompressed(p.program, Scheme::Dictionary,
+                                          false, machine);
+        double s = slowdown(dict, native);
+        EXPECT_LT(s, prev * 1.05) << kb;  // small placement noise OK
+        prev = s;
+    }
+}
+
+TEST_F(PaperClaims, Figure5_MissBeatsExecOnLoopCode)
+{
+    // "There can be a substantial benefit for using miss-based
+    // profiling on loop-oriented programs such as pegwit and mpeg2enc."
+    for (const char *name : {"mpeg2enc", "pegwit"}) {
+        Prepared &p = prepared(name);
+        profile::ProcedureProfile profile =
+            profileProgram(p.program, paperMachine());
+        auto exec_regions = profile::selectNative(
+            profile, SelectionPolicy::ExecutionBased, 0.50);
+        auto miss_regions = profile::selectNative(
+            profile, SelectionPolicy::MissBased, 0.50);
+        SystemResult exec_run =
+            runCompressed(p.program, Scheme::CodePack, false,
+                          paperMachine(), exec_regions);
+        SystemResult miss_run =
+            runCompressed(p.program, Scheme::CodePack, false,
+                          paperMachine(), miss_regions);
+        EXPECT_LE(slowdown(miss_run, p.native),
+                  slowdown(exec_run, p.native) + 0.005)
+            << name;
+    }
+}
+
+TEST_F(PaperClaims, Figure5_CurvesReachNativeAtFullSelection)
+{
+    Prepared &p = prepared("ijpeg");
+    profile::ProcedureProfile profile =
+        profileProgram(p.program, paperMachine());
+    auto regions = profile::selectNative(
+        profile, SelectionPolicy::ExecutionBased, 1.0);
+    SystemResult run = runCompressed(p.program, Scheme::Dictionary,
+                                     false, paperMachine(), regions);
+    // Full selection keeps every *executed* procedure native: the run
+    // is at native speed. Procedures the shortened input never touched
+    // stay compressed, so the size sits between the fully-compressed
+    // ratio and 100%.
+    EXPECT_NEAR(slowdown(run, p.native), 1.0, 0.05);
+    SystemResult full = runCompressed(p.program, Scheme::Dictionary,
+                                      false, paperMachine());
+    EXPECT_GT(run.compressionRatio(), full.compressionRatio());
+}
+
+TEST_F(PaperClaims, LoopCodeRunsAtNativeSpeedOnceCached)
+{
+    // "We have native performance for code once it is in the cache...
+    // particularly effective in loop-oriented programs."
+    Prepared &p = prepared("mpeg2enc");
+    SystemResult dict = runCompressed(p.program, Scheme::Dictionary,
+                                      true, paperMachine());
+    EXPECT_LT(slowdown(dict, p.native), 1.08);
+}
+
+} // namespace
+} // namespace rtd::core

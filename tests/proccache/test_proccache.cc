@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the procedure-based decompression baseline (Kirovski et
+ * al.): the arena manager, per-procedure LZRW1 image, the LZRW1
+ * runtime-in-assembly, and end-to-end runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "isa/decode.h"
+#include "proccache/manager.h"
+#include "proccache/proc_image.h"
+#include "program/builder.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace rtd::proccache {
+namespace {
+
+using namespace rtd::isa;
+using prog::ProcedureBuilder;
+using prog::Program;
+
+TEST(Manager, AllocateUntilFullThenEvictLru)
+{
+    ProcCacheManager mgr(1024, 8);
+    EXPECT_FALSE(mgr.resident(0));
+    auto r0 = mgr.allocate(0, 512);
+    auto r1 = mgr.allocate(1, 512);
+    EXPECT_TRUE(r0.evicted.empty());
+    EXPECT_TRUE(r1.evicted.empty());
+    EXPECT_TRUE(mgr.resident(0));
+    EXPECT_TRUE(mgr.resident(1));
+
+    // Touch 0 so 1 becomes LRU.
+    mgr.touch(0);
+    auto r2 = mgr.allocate(2, 512);
+    ASSERT_EQ(r2.evicted.size(), 1u);
+    EXPECT_EQ(r2.evicted[0], 1);
+    EXPECT_FALSE(mgr.resident(1));
+    EXPECT_TRUE(mgr.resident(0));
+    EXPECT_TRUE(mgr.resident(2));
+}
+
+TEST(Manager, CompactionWhenFragmented)
+{
+    // Fill with 4 x 256, evict two non-adjacent, then ask for 512:
+    // total free is enough but fragmented -> compaction, no eviction.
+    ProcCacheManager mgr(1024, 8);
+    mgr.allocate(0, 256);
+    mgr.allocate(1, 256);
+    mgr.allocate(2, 256);
+    mgr.allocate(3, 256);
+    // Make 0 and 2 LRU in that order.
+    mgr.touch(1);
+    mgr.touch(3);
+    auto r4 = mgr.allocate(4, 300);  // evicts 0, then 2; fragmented
+    EXPECT_EQ(r4.evicted.size(), 2u);
+    EXPECT_GT(r4.bytesCompacted, 0u);
+    EXPECT_TRUE(mgr.resident(4));
+    EXPECT_EQ(mgr.compactions(), 1u);
+}
+
+TEST(Manager, OversizedProcedureIsFatal)
+{
+    ProcCacheManager mgr(1024, 2);
+    EXPECT_EXIT(mgr.allocate(0, 2048), ::testing::ExitedWithCode(1),
+                "smaller than procedure");
+}
+
+TEST(Manager, StatsAccumulate)
+{
+    ProcCacheManager mgr(512, 4);
+    mgr.allocate(0, 256);
+    mgr.allocate(1, 256);
+    mgr.allocate(2, 256);
+    EXPECT_EQ(mgr.faults(), 3u);
+    EXPECT_GE(mgr.evictions(), 1u);
+    EXPECT_LE(mgr.bytesResident(), 512u);
+}
+
+TEST(ProcImage, CompressesEveryProcedure)
+{
+    workload::WorkloadGenerator gen(workload::tinySpec(21));
+    Program program = gen.generate();
+    prog::LoadedImage image = prog::linkFullyCompressed(program);
+    ProcCompressedImage pimage = compressProcedures(image);
+    ASSERT_EQ(pimage.entries.size(), image.procs.size());
+    uint32_t total_compressed = 0;
+    for (size_t i = 0; i < pimage.entries.size(); ++i) {
+        EXPECT_EQ(pimage.entries[i].vaBase, image.procs[i].base);
+        EXPECT_EQ(pimage.entries[i].origBytes, image.procs[i].size);
+        total_compressed += pimage.entries[i].compressedBytes;
+    }
+    // Streams + table segments exist and account for the payload.
+    ASSERT_EQ(pimage.memory.segments.size(), 2u);
+    EXPECT_EQ(pimage.memory.segments[0].bytes.size(), total_compressed);
+    EXPECT_EQ(pimage.memory.segments[1].bytes.size(),
+              pimage.entries.size() * 16);
+    // Whole-program ratio below 1 for repetitive code.
+    EXPECT_LT(pimage.compressedBytes(), image.textBytes());
+}
+
+TEST(Lzrw1Handler, StaticShape)
+{
+    runtime::HandlerBuild handler = buildLzrw1Handler();
+    EXPECT_TRUE(handler.usesShadowRegs);
+    EXPECT_GT(handler.staticInsns(), 30u);
+    EXPECT_LT(handler.staticInsns(), 60u);
+    EXPECT_EQ(isa::decode(handler.code.back()).op, Op::Iret);
+}
+
+core::SystemResult
+runProcCache(const Program &program, uint32_t capacity)
+{
+    core::SystemConfig config;
+    config.scheme = compress::Scheme::ProcLzrw1;
+    config.procCache.capacityBytes = capacity;
+    config.cpu.maxUserInsns = 50'000'000;
+    core::System system(program, config);
+    return system.run();
+}
+
+TEST(ProcCacheEndToEnd, ComputesNativeResult)
+{
+    workload::WorkloadGenerator gen(workload::tinySpec(22));
+    Program program = gen.generate();
+    auto native = core::runNative(program, core::paperMachine());
+    auto pc = runProcCache(program, 64 * 1024);
+    EXPECT_TRUE(pc.stats.halted);
+    EXPECT_EQ(pc.stats.resultValue, native.stats.resultValue);
+    EXPECT_EQ(pc.stats.userInsns, native.stats.userInsns);
+    EXPECT_GT(pc.stats.procFaults, 0u);
+    EXPECT_GT(pc.stats.procDecompressedBytes, 0u);
+}
+
+TEST(ProcCacheEndToEnd, SmallCacheThrashes)
+{
+    workload::WorkloadGenerator gen(workload::tinySpec(23));
+    Program program = gen.generate();
+    // Both runs correct; the tight cache must fault much more and run
+    // much slower (the wide variance the paper attributes to
+    // procedure-granularity decompression).
+    auto big = runProcCache(program, 128 * 1024);
+    auto small = runProcCache(program, 8 * 1024);
+    EXPECT_EQ(big.stats.resultValue, small.stats.resultValue);
+    EXPECT_GT(small.stats.procFaults, 2 * big.stats.procFaults);
+    EXPECT_GT(small.stats.cycles, big.stats.cycles);
+    EXPECT_GT(small.stats.procEvictions, 0u);
+}
+
+TEST(ProcCacheEndToEnd, DecompressionCostScalesWithProcedureBytes)
+{
+    // Per fault, the LZRW1 runtime executes a few instructions per
+    // decompressed byte — an order of magnitude above the cache-line
+    // handlers for typical procedures.
+    workload::WorkloadGenerator gen(workload::tinySpec(24));
+    Program program = gen.generate();
+    auto pc = runProcCache(program, 64 * 1024);
+    double insns_per_byte =
+        static_cast<double>(pc.stats.handlerInsns) /
+        static_cast<double>(pc.stats.procDecompressedBytes);
+    EXPECT_GT(insns_per_byte, 2.0);
+    EXPECT_LT(insns_per_byte, 12.0);
+}
+
+TEST(ProcCacheEndToEnd, FaultsAreWholeProcedureGrained)
+{
+    // A two-procedure ping-pong that fits the cache: exactly one fault
+    // per procedure, every later call runs from the procedure cache.
+    Program program;
+    {
+        ProcedureBuilder b("leaf");
+        for (int i = 0; i < 64; ++i)
+            b.addiu(V0, V0, 1);
+        b.jr(Ra);
+        program.procs.push_back(b.take());
+    }
+    {
+        ProcedureBuilder b("main");
+        b.addiu(T0, Zero, 20);
+        prog::Label loop = b.newLabel();
+        b.bind(loop);
+        b.jal(0);
+        b.addiu(T0, T0, -1);
+        b.bgtz(T0, loop);
+        b.halt(0);
+        program.procs.push_back(b.take());
+        program.entry = 1;
+    }
+    auto result = runProcCache(program, 16 * 1024);
+    EXPECT_EQ(result.stats.procFaults, 2u);
+    EXPECT_EQ(result.stats.resultValue, 20u * 64u);
+}
+
+} // namespace
+} // namespace rtd::proccache

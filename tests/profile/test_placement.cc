@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for profile-guided procedure placement (the paper's section 5.3
+ * future-work direction): the affinity-ordering algorithm, transition
+ * profiling, linker ordering support, and end-to-end effects.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "profile/placement.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace rtd::profile {
+namespace {
+
+bool
+adjacent(const std::vector<int32_t> &order, int32_t a, int32_t b)
+{
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+        if ((order[i] == a && order[i + 1] == b) ||
+            (order[i] == b && order[i + 1] == a)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(Placement, EmptyProfileKeepsOriginalOrder)
+{
+    auto order = affinityOrder(5, {});
+    ASSERT_EQ(order.size(), 5u);
+    for (int32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Placement, HeaviestEdgeBecomesAdjacent)
+{
+    TransitionCounts transitions;
+    transitions[transitionKey(0, 3)] = 100;
+    transitions[transitionKey(1, 2)] = 10;
+    auto order = affinityOrder(5, transitions);
+    ASSERT_EQ(order.size(), 5u);
+    EXPECT_TRUE(adjacent(order, 0, 3));
+    EXPECT_TRUE(adjacent(order, 1, 2));
+}
+
+TEST(Placement, ChainsExtendThroughSharedNodes)
+{
+    // 0<->1 heavy, 1<->2 medium: expect the chain 0,1,2 (or reversed).
+    TransitionCounts transitions;
+    transitions[transitionKey(0, 1)] = 100;
+    transitions[transitionKey(1, 2)] = 50;
+    auto order = affinityOrder(3, transitions);
+    EXPECT_TRUE(adjacent(order, 0, 1));
+    EXPECT_TRUE(adjacent(order, 1, 2));
+}
+
+TEST(Placement, SymmetricCountsMerge)
+{
+    // Both directions of the same pair count as one undirected edge.
+    TransitionCounts transitions;
+    transitions[transitionKey(0, 1)] = 30;
+    transitions[transitionKey(1, 0)] = 30;
+    transitions[transitionKey(2, 3)] = 50;
+    transitions[transitionKey(0, 2)] = 40;
+    auto order = affinityOrder(4, transitions);
+    // 0-1 (60) is the heaviest edge and must be adjacent.
+    EXPECT_TRUE(adjacent(order, 0, 1));
+    EXPECT_TRUE(adjacent(order, 2, 3));
+}
+
+TEST(Placement, AlwaysAPermutation)
+{
+    // Random-ish dense transition graphs still yield permutations.
+    Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        size_t n = 3 + rng.nextBelow(40);
+        TransitionCounts transitions;
+        size_t edges = rng.nextBelow(3 * n);
+        for (size_t e = 0; e < edges; ++e) {
+            auto a = static_cast<int32_t>(rng.nextBelow(n));
+            auto b = static_cast<int32_t>(rng.nextBelow(n));
+            transitions[transitionKey(a, b)] += 1 + rng.nextBelow(100);
+        }
+        auto order = affinityOrder(n, transitions);
+        ASSERT_EQ(order.size(), n);
+        std::vector<int32_t> sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(sorted[i], static_cast<int32_t>(i));
+    }
+}
+
+TEST(Placement, SelfTransitionsIgnored)
+{
+    TransitionCounts transitions;
+    transitions[transitionKey(1, 1)] = 1000;
+    auto order = affinityOrder(3, transitions);
+    ASSERT_EQ(order.size(), 3u);
+}
+
+TEST(PlacementEndToEnd, TransitionsAreProfiled)
+{
+    workload::WorkloadGenerator gen(workload::tinySpec(31));
+    prog::Program program = gen.generate();
+    cpu::CpuConfig machine = core::paperMachine();
+    ProcedureProfile profile = core::profileProgram(program, machine);
+    EXPECT_FALSE(profile.transitions.empty());
+    // main calls every hot procedure directly: those edges must exist.
+    int32_t main_idx = program.findProc("main");
+    int32_t hot0 = program.findProc("hot_0");
+    ASSERT_GE(main_idx, 0);
+    ASSERT_GE(hot0, 0);
+    EXPECT_GT(profile.transitions.count(transitionKey(main_idx, hot0)),
+              0u);
+    // Transition totals are bounded by proc switches (< user insns).
+    uint64_t total = 0;
+    for (const auto &[key, count] : profile.transitions)
+        total += count;
+    EXPECT_LT(total, profile.totalExec());
+}
+
+TEST(PlacementEndToEnd, PlacedProgramStillCorrect)
+{
+    workload::WorkloadGenerator gen(workload::tinySpec(32));
+    prog::Program program = gen.generate();
+    cpu::CpuConfig machine = core::paperMachine();
+    core::SystemResult base = core::runNative(program, machine);
+    ProcedureProfile profile = core::profileProgram(program, machine);
+    auto order =
+        affinityOrder(program.procs.size(), profile.transitions);
+    core::SystemResult placed = core::runNative(program, machine, order);
+    EXPECT_EQ(placed.stats.resultValue, base.stats.resultValue);
+    EXPECT_EQ(placed.stats.userInsns, base.stats.userInsns);
+
+    // And composes with selective compression.
+    auto regions = selectNative(profile, SelectionPolicy::MissBased,
+                                0.20);
+    core::SystemResult hybrid = core::runCompressed(
+        program, compress::Scheme::Dictionary, false, machine, regions,
+        order);
+    EXPECT_EQ(hybrid.stats.resultValue, base.stats.resultValue);
+}
+
+} // namespace
+} // namespace rtd::profile

@@ -1,0 +1,112 @@
+/** @file Unit tests for profiles and selective-compression policies. */
+
+#include <gtest/gtest.h>
+
+#include "profile/selection.h"
+
+namespace rtd::profile {
+namespace {
+
+ProcedureProfile
+makeProfile(std::vector<uint64_t> exec, std::vector<uint64_t> miss)
+{
+    ProcedureProfile profile;
+    profile.execInsns = std::move(exec);
+    profile.missCounts = std::move(miss);
+    return profile;
+}
+
+TEST(Selection, ZeroThresholdCompressesEverything)
+{
+    auto profile = makeProfile({100, 50, 10}, {5, 20, 1});
+    auto regions =
+        selectNative(profile, SelectionPolicy::ExecutionBased, 0.0);
+    for (prog::Region r : regions)
+        EXPECT_EQ(r, prog::Region::Compressed);
+}
+
+TEST(Selection, ExecutionBasedPicksHottest)
+{
+    auto profile = makeProfile({100, 800, 100}, {0, 0, 0});
+    // 50% of 1000 = 500: procedure 1 alone covers it.
+    auto regions =
+        selectNative(profile, SelectionPolicy::ExecutionBased, 0.5);
+    EXPECT_EQ(regions[0], prog::Region::Compressed);
+    EXPECT_EQ(regions[1], prog::Region::Native);
+    EXPECT_EQ(regions[2], prog::Region::Compressed);
+}
+
+TEST(Selection, MissBasedPicksMostMissing)
+{
+    auto profile = makeProfile({1000, 10, 10}, {1, 90, 9});
+    auto regions =
+        selectNative(profile, SelectionPolicy::MissBased, 0.5);
+    EXPECT_EQ(regions[0], prog::Region::Compressed);
+    EXPECT_EQ(regions[1], prog::Region::Native);
+    EXPECT_EQ(regions[2], prog::Region::Compressed);
+}
+
+TEST(Selection, ThresholdIsCumulative)
+{
+    auto profile = makeProfile({400, 300, 200, 100}, {});
+    profile.missCounts.assign(4, 0);
+    // 5% -> top procedure only; 70% -> the top two cover exactly 70%;
+    // 75% -> needs a third.
+    auto r5 = selectNative(profile, SelectionPolicy::ExecutionBased, 0.05);
+    EXPECT_EQ(std::count(r5.begin(), r5.end(), prog::Region::Native), 1);
+    auto r70 = selectNative(profile, SelectionPolicy::ExecutionBased, 0.7);
+    EXPECT_EQ(std::count(r70.begin(), r70.end(), prog::Region::Native), 2);
+    auto r75 = selectNative(profile, SelectionPolicy::ExecutionBased, 0.75);
+    EXPECT_EQ(std::count(r75.begin(), r75.end(), prog::Region::Native), 3);
+}
+
+TEST(Selection, MonotoneInThreshold)
+{
+    auto profile = makeProfile({7, 13, 2, 40, 25, 9, 1, 3}, {});
+    profile.missCounts.assign(8, 0);
+    size_t prev = 0;
+    for (double t : {0.0, 0.05, 0.10, 0.15, 0.20, 0.50, 1.0}) {
+        auto regions =
+            selectNative(profile, SelectionPolicy::ExecutionBased, t);
+        size_t count = static_cast<size_t>(std::count(
+            regions.begin(), regions.end(), prog::Region::Native));
+        EXPECT_GE(count, prev) << "threshold " << t;
+        prev = count;
+    }
+}
+
+TEST(Selection, ZeroMetricProceduresNeverSelected)
+{
+    auto profile = makeProfile({100, 0, 0}, {});
+    profile.missCounts.assign(3, 0);
+    auto regions =
+        selectNative(profile, SelectionPolicy::ExecutionBased, 1.0);
+    EXPECT_EQ(regions[0], prog::Region::Native);
+    EXPECT_EQ(regions[1], prog::Region::Compressed);
+    EXPECT_EQ(regions[2], prog::Region::Compressed);
+}
+
+TEST(Selection, AllZeroProfileCompressesEverything)
+{
+    auto profile = makeProfile({0, 0}, {0, 0});
+    auto regions =
+        selectNative(profile, SelectionPolicy::MissBased, 0.5);
+    for (prog::Region r : regions)
+        EXPECT_EQ(r, prog::Region::Compressed);
+}
+
+TEST(Selection, PolicyNames)
+{
+    EXPECT_STREQ(policyName(SelectionPolicy::ExecutionBased), "exec");
+    EXPECT_STREQ(policyName(SelectionPolicy::MissBased), "miss");
+}
+
+TEST(Profile, Totals)
+{
+    auto profile = makeProfile({1, 2, 3}, {4, 5, 6});
+    EXPECT_EQ(profile.totalExec(), 6u);
+    EXPECT_EQ(profile.totalMisses(), 15u);
+}
+
+} // namespace
+} // namespace rtd::profile

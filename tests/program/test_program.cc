@@ -1,0 +1,189 @@
+/** @file Unit tests for the symbolic program representation and linker. */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "program/builder.h"
+#include "program/linker.h"
+#include "program/program.h"
+
+namespace rtd::prog {
+namespace {
+
+using namespace rtd::isa;
+
+/** A two-procedure program: main calls leaf and halts. */
+Program
+callerCallee()
+{
+    Program program;
+    program.name = "callercallee";
+    {
+        ProcedureBuilder b("leaf");
+        b.addiu(V0, Zero, 7);
+        b.jr(Ra);
+        program.procs.push_back(b.take());
+    }
+    {
+        ProcedureBuilder b("main");
+        b.jal(0);
+        b.halt(0);
+        program.procs.push_back(b.take());
+        program.entry = 1;
+    }
+    return program;
+}
+
+TEST(Builder, LabelsResolveBackwardAndForward)
+{
+    ProcedureBuilder b("p");
+    Label top = b.newLabel();
+    Label out = b.newLabel();
+    b.bind(top);
+    b.addiu(T0, T0, 1);
+    b.beq(T0, T1, out);
+    b.bne(T0, T2, top);
+    b.bind(out);
+    b.jr(Ra);
+    Procedure proc = b.take();
+    std::vector<uint32_t> words = assembleProcedure(proc, 0x1000);
+    ASSERT_EQ(words.size(), 4u);
+
+    Instruction beq = decode(words[1]);
+    // Forward: target index 3, pc 0x1004 -> offset (0x100c-0x1008)>>2 = 1.
+    EXPECT_EQ(static_cast<int16_t>(beq.imm), 1);
+    Instruction bne = decode(words[2]);
+    // Backward: target 0x1000, pc 0x1008 -> (0x1000-0x100c)>>2 = -3.
+    EXPECT_EQ(static_cast<int16_t>(bne.imm), -3);
+}
+
+TEST(Builder, Li32EmitsLuiOri)
+{
+    ProcedureBuilder b("p");
+    b.li32(T0, 0x10008000);
+    b.li32(T1, 0x20000000);  // zero low half: lui only
+    b.jr(Ra);
+    std::vector<uint32_t> words = assembleProcedure(b.take(), 0);
+    ASSERT_EQ(words.size(), 4u);
+    EXPECT_EQ(decode(words[0]).op, Op::Lui);
+    EXPECT_EQ(decode(words[1]).op, Op::Ori);
+    EXPECT_EQ(decode(words[2]).op, Op::Lui);
+}
+
+TEST(Program, CheckCatchesBadEntry)
+{
+    Program program = callerCallee();
+    program.check();  // panics on inconsistency
+    EXPECT_EQ(program.textWords(), 4u);
+    EXPECT_EQ(program.textBytes(), 16u);
+    EXPECT_EQ(program.findProc("leaf"), 0);
+    EXPECT_EQ(program.findProc("nope"), -1);
+}
+
+TEST(Linker, NativeLayoutStartsAtTextBase)
+{
+    Program program = callerCallee();
+    LoadedImage image = link(program);
+    EXPECT_EQ(image.nativeBase, layout::textBase);
+    EXPECT_TRUE(image.decompText.empty());
+    ASSERT_EQ(image.nativeText.size(), 4u);
+    EXPECT_EQ(image.entry, layout::textBase + 8);  // after 2-insn leaf
+    EXPECT_EQ(image.stackTop, layout::stackTop);
+
+    // jal in main must point at leaf's base.
+    Instruction jal = decode(image.nativeText[2]);
+    EXPECT_EQ(jal.op, Op::Jal);
+    EXPECT_EQ(jal.target << 2, layout::textBase);
+}
+
+TEST(Linker, FullyCompressedLayout)
+{
+    Program program = callerCallee();
+    LoadedImage image = linkFullyCompressed(program);
+    EXPECT_EQ(image.decompBase, layout::textBase);
+    EXPECT_TRUE(image.nativeText.empty());
+    EXPECT_EQ(image.decompText.size(), 4u);
+    EXPECT_TRUE(image.inCompressedRegion(layout::textBase));
+    EXPECT_FALSE(image.inCompressedRegion(layout::textBase + 16));
+}
+
+TEST(Linker, HybridSplitsRegionsAndKeepsOrder)
+{
+    // Four procedures; compress procs 0 and 2, keep 1 and 3 native.
+    Program program;
+    for (int i = 0; i < 3; ++i) {
+        ProcedureBuilder b("p" + std::to_string(i));
+        for (int k = 0; k < 4; ++k)
+            b.addiu(T0, T0, static_cast<int16_t>(i));
+        b.jr(Ra);
+        program.procs.push_back(b.take());
+    }
+    {
+        ProcedureBuilder b("halt");
+        b.halt(0);
+        program.procs.push_back(b.take());
+    }
+    program.entry = 0;
+
+    std::vector<Region> regions = {Region::Compressed, Region::Native,
+                                   Region::Compressed, Region::Native};
+    LoadedImage image = link(program, regions);
+
+    // Compressed procs first (original relative order), then native at a
+    // page boundary.
+    ASSERT_EQ(image.procs.size(), 4u);
+    EXPECT_EQ(image.procs[0].name, "p0");
+    EXPECT_EQ(image.procs[1].name, "p2");
+    EXPECT_EQ(image.procs[2].name, "p1");
+    EXPECT_EQ(image.procs[3].name, "halt");
+    EXPECT_EQ(image.procs[0].base, layout::textBase);
+    EXPECT_EQ(image.procs[1].base, layout::textBase + 5 * 4);
+    EXPECT_EQ(image.nativeBase % layout::regionAlign, 0u);
+    EXPECT_GT(image.nativeBase,
+              image.procs[1].base + image.procs[1].size - 1);
+
+    // procAt finds the right procedure in both regions.
+    EXPECT_EQ(image.procs[image.procAt(layout::textBase + 4)].name, "p0");
+    EXPECT_EQ(image.procs[image.procAt(image.nativeBase)].name, "p1");
+    EXPECT_EQ(image.procAt(0x123), -1);
+}
+
+TEST(Linker, DataRelocsResolvePerLayout)
+{
+    Program program = callerCallee();
+    program.data.assign(8, 0);
+    program.dataSize = 8;
+    program.dataRelocs.push_back(DataReloc{4, 0});  // address of leaf
+
+    LoadedImage native = link(program);
+    uint32_t addr_native;
+    std::memcpy(&addr_native, native.data.data() + 4, 4);
+    EXPECT_EQ(addr_native, layout::textBase);
+
+    // Compress leaf only: main stays native, leaf moves (still at
+    // textBase, but main moves to the native region).
+    std::vector<Region> regions = {Region::Compressed, Region::Native};
+    LoadedImage hybrid = link(program, regions);
+    uint32_t addr_hybrid;
+    std::memcpy(&addr_hybrid, hybrid.data.data() + 4, 4);
+    EXPECT_EQ(addr_hybrid, layout::textBase);
+    EXPECT_EQ(hybrid.entry, hybrid.nativeBase);
+}
+
+TEST(Linker, TextWordAtCoversBothRegions)
+{
+    Program program = callerCallee();
+    std::vector<Region> regions = {Region::Compressed, Region::Native};
+    LoadedImage image = link(program, regions);
+    // leaf at decomp base; its first word is addiu v0,zero,7.
+    Instruction first = decode(image.textWordAt(image.decompBase));
+    EXPECT_EQ(first.op, Op::Addiu);
+    Instruction entry = decode(image.textWordAt(image.entry));
+    EXPECT_EQ(entry.op, Op::Jal);
+}
+
+} // namespace
+} // namespace rtd::prog

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the software decompression handlers: the paper's published
+ * static/dynamic instruction counts and end-to-end decompression
+ * correctness through the simulated exception path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/decode.h"
+#include "program/builder.h"
+#include "runtime/handlers.h"
+
+namespace rtd::runtime {
+namespace {
+
+using namespace rtd::isa;
+using prog::Label;
+using prog::ProcedureBuilder;
+using prog::Program;
+
+TEST(DictionaryHandler, PaperStaticSize)
+{
+    // Paper section 4.1: "The decompressor is 208 bytes (26
+    // instructions)". The 26-instruction count matches Figure 2
+    // exactly; 208 bytes counts 8-byte SimpleScalar instruction words,
+    // which in the paper's own 32-bit re-encoding (and ours) is 104 B.
+    HandlerBuild handler = buildDictionaryHandler(false, 32);
+    EXPECT_EQ(handler.staticInsns(), 26u);
+    EXPECT_EQ(handler.sizeBytes(), 104u);
+    EXPECT_FALSE(handler.usesShadowRegs);
+}
+
+TEST(DictionaryHandler, UnrolledVariantIsLeaner)
+{
+    HandlerBuild rf = buildDictionaryHandler(true, 32);
+    EXPECT_TRUE(rf.usesShadowRegs);
+    // 9 setup + 8x4 unrolled + iret = 42: no saves, no loop overhead.
+    EXPECT_EQ(rf.staticInsns(), 42u);
+}
+
+TEST(DictionaryHandler, LastInstructionIsIret)
+{
+    for (bool rf : {false, true}) {
+        HandlerBuild handler = buildDictionaryHandler(rf, 32);
+        Instruction last = decode(handler.code.back());
+        EXPECT_EQ(last.op, Op::Iret);
+    }
+}
+
+TEST(CodePackHandler, SizeNearPaperAndEndsInIret)
+{
+    // Paper: 832 bytes (208 instructions). Our reconstruction of the
+    // codeword format yields a handler of the same order.
+    HandlerBuild handler = buildCodePackHandler(false);
+    EXPECT_GT(handler.staticInsns(), 100u);
+    EXPECT_LT(handler.staticInsns(), 260u);
+    EXPECT_EQ(decode(handler.code.back()).op, Op::Iret);
+
+    HandlerBuild rf = buildCodePackHandler(true);
+    EXPECT_EQ(rf.staticInsns() + 16, handler.staticInsns());
+}
+
+TEST(Handlers, LineSizeParameterization)
+{
+    HandlerBuild h16 = buildDictionaryHandler(true, 16);
+    HandlerBuild h64 = buildDictionaryHandler(true, 64);
+    // Unrolled body scales with words per line: 4 insns per word.
+    EXPECT_EQ(h64.staticInsns() - h16.staticInsns(), (16u - 4u) * 4u);
+}
+
+/**
+ * A program whose body spans several I-lines with recognizable values:
+ * sums constants 1..n into v0 and halts.
+ */
+Program
+sumProgram(int n)
+{
+    Program program;
+    ProcedureBuilder b("main");
+    for (int i = 1; i <= n; ++i)
+        b.addiu(V0, V0, static_cast<int16_t>(i));
+    b.halt(0);
+    program.procs.push_back(b.take());
+    program.entry = 0;
+    program.name = "sum";
+    return program;
+}
+
+core::SystemResult
+runScheme(const Program &program, compress::Scheme scheme, bool rf)
+{
+    core::SystemConfig config;
+    config.cpu.maxUserInsns = 10'000'000;
+    config.scheme = scheme;
+    config.secondRegFile = rf;
+    core::System system(program, config);
+    return system.run();
+}
+
+TEST(DictionaryHandler, DecompressesProgramCorrectly)
+{
+    Program program = sumProgram(100);
+    auto native = runScheme(program, compress::Scheme::None, false);
+    auto compressed = runScheme(program, compress::Scheme::Dictionary,
+                                false);
+    EXPECT_EQ(native.stats.resultValue, 5050u);
+    EXPECT_EQ(compressed.stats.resultValue, 5050u);
+    EXPECT_TRUE(compressed.stats.halted);
+    EXPECT_GT(compressed.stats.exceptions, 0u);
+}
+
+TEST(DictionaryHandler, Exactly75DynamicInstructionsPerLine)
+{
+    // Paper section 4.1: "executes 75 instructions to decompress a
+    // cache line of 8 4-byte instructions".
+    Program program = sumProgram(100);
+    auto result = runScheme(program, compress::Scheme::Dictionary, false);
+    ASSERT_GT(result.stats.exceptions, 0u);
+    EXPECT_EQ(result.stats.handlerInsns,
+              result.stats.exceptions * 75u);
+}
+
+TEST(DictionaryHandler, RfVariant42InstructionsPerLine)
+{
+    Program program = sumProgram(100);
+    auto result = runScheme(program, compress::Scheme::Dictionary, true);
+    ASSERT_GT(result.stats.exceptions, 0u);
+    EXPECT_EQ(result.stats.handlerInsns, result.stats.exceptions * 42u);
+    EXPECT_EQ(result.stats.resultValue, 5050u);
+}
+
+TEST(DictionaryHandler, OneExceptionPerMissedLine)
+{
+    Program program = sumProgram(100);  // 101 insns = 13 lines
+    auto result = runScheme(program, compress::Scheme::Dictionary, false);
+    EXPECT_EQ(result.stats.exceptions, 13u);
+    EXPECT_EQ(result.stats.compressedMisses, 13u);
+    EXPECT_EQ(result.stats.nativeMisses, 0u);
+}
+
+TEST(CodePackHandler, DecompressesProgramCorrectly)
+{
+    Program program = sumProgram(200);
+    auto native = runScheme(program, compress::Scheme::None, false);
+    auto compressed = runScheme(program, compress::Scheme::CodePack,
+                                false);
+    EXPECT_EQ(compressed.stats.resultValue, native.stats.resultValue);
+    EXPECT_TRUE(compressed.stats.halted);
+}
+
+TEST(CodePackHandler, DecompressesTwoLinesPerException)
+{
+    // 201 instructions = 26 lines = 13 groups; each exception installs
+    // a whole group, so the second line of each group hits.
+    Program program = sumProgram(200);
+    auto result = runScheme(program, compress::Scheme::CodePack, false);
+    EXPECT_EQ(result.stats.exceptions, 13u);
+    EXPECT_EQ(result.stats.compressedMisses, 13u);
+}
+
+TEST(CodePackHandler, CostPerGroupNearPaper)
+{
+    // Paper: "takes on average 1120 instructions" per two-line group.
+    Program program = sumProgram(200);
+    auto result = runScheme(program, compress::Scheme::CodePack, false);
+    double per_group = static_cast<double>(result.stats.handlerInsns) /
+                       static_cast<double>(result.stats.exceptions);
+    EXPECT_GT(per_group, 500.0);
+    EXPECT_LT(per_group, 1600.0);
+}
+
+TEST(CodePackHandler, RfVariantSavesSixteenPerGroup)
+{
+    Program program = sumProgram(200);
+    auto base = runScheme(program, compress::Scheme::CodePack, false);
+    auto rf = runScheme(program, compress::Scheme::CodePack, true);
+    EXPECT_EQ(base.stats.handlerInsns - rf.stats.handlerInsns,
+              base.stats.exceptions * 16u);
+    EXPECT_EQ(rf.stats.resultValue, base.stats.resultValue);
+}
+
+TEST(Handlers, LoopProgramPaysDecompressionOnlyOnMiss)
+{
+    // A loop that fits in one line: one exception, then native speed.
+    Program program;
+    ProcedureBuilder b("main");
+    b.addiu(T0, Zero, 1000);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addu(V0, V0, T0);
+    b.addiu(T0, T0, -1);
+    b.bgtz(T0, loop);
+    b.halt(0);
+    program.procs.push_back(b.take());
+    program.entry = 0;
+    auto result = runScheme(program, compress::Scheme::Dictionary, false);
+    EXPECT_EQ(result.stats.exceptions, 1u);
+    EXPECT_GT(result.stats.userInsns, 3000u);
+}
+
+} // namespace
+} // namespace rtd::runtime

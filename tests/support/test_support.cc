@@ -1,0 +1,132 @@
+/** @file Unit tests for the support module. */
+
+#include <gtest/gtest.h>
+
+#include "support/bitops.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace rtd {
+namespace {
+
+TEST(Bitops, ExtractInsertRoundTrip)
+{
+    uint32_t word = 0;
+    word = insertBits(word, 26, 6, 0x2b);
+    word = insertBits(word, 21, 5, 29);
+    word = insertBits(word, 16, 5, 7);
+    word = insertBits(word, 0, 16, 0xfffc);
+    EXPECT_EQ(bits(word, 26, 6), 0x2bu);
+    EXPECT_EQ(bits(word, 21, 5), 29u);
+    EXPECT_EQ(bits(word, 16, 5), 7u);
+    EXPECT_EQ(bits(word, 0, 16), 0xfffcu);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x7fff, 16), 32767);
+    EXPECT_EQ(signExtend(0x1, 16), 1);
+}
+
+TEST(Bitops, Alignment)
+{
+    EXPECT_EQ(alignUp(0, 32), 0u);
+    EXPECT_EQ(alignUp(1, 32), 32u);
+    EXPECT_EQ(alignUp(32, 32), 32u);
+    EXPECT_EQ(alignDown(63, 32), 32u);
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_EQ(floorLog2(32), 5u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        int64_t v = rng.nextRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Zipf, SkewConcentratesMassOnLowRanks)
+{
+    Rng rng(99);
+    ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.sample(rng)];
+    // Rank 0 should be sampled far more often than rank 50.
+    EXPECT_GT(counts[0], counts[50] * 5);
+    // Mass sums to ~1.
+    double total = 0;
+    for (size_t r = 0; r < 100; ++r)
+        total += zipf.mass(r);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    ZipfSampler zipf(10, 0.0);
+    for (size_t r = 0; r < 10; ++r)
+        EXPECT_NEAR(zipf.mass(r), 0.1, 1e-9);
+}
+
+TEST(Stats, GroupBasics)
+{
+    StatGroup group;
+    uint64_t &hits = group.add("hits");
+    uint64_t &misses = group.add("misses");
+    hits = 10;
+    misses = 2;
+    EXPECT_EQ(group.get("hits"), 10u);
+    EXPECT_EQ(group.get("misses"), 2u);
+    EXPECT_TRUE(group.has("hits"));
+    EXPECT_FALSE(group.has("nope"));
+    group.reset();
+    EXPECT_EQ(group.get("hits"), 0u);
+}
+
+TEST(Stats, Helpers)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(fmtDouble(2.987, 2), "2.99");
+    EXPECT_EQ(fmtPercent(65.43, 1), "65.4%");
+    EXPECT_EQ(fmtCount(1083168), "1,083,168");
+    EXPECT_EQ(fmtCount(42), "42");
+}
+
+} // namespace
+} // namespace rtd

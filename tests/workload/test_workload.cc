@@ -1,0 +1,168 @@
+/** @file Tests for the synthetic workload generator and benchmark specs. */
+
+#include <gtest/gtest.h>
+
+#include "compress/dictionary.h"
+#include "core/system.h"
+#include "program/linker.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace rtd::workload {
+namespace {
+
+TEST(Generator, Deterministic)
+{
+    WorkloadGenerator a(tinySpec(3)), b(tinySpec(3));
+    prog::Program pa = a.generate();
+    prog::Program pb = b.generate();
+    ASSERT_EQ(pa.procs.size(), pb.procs.size());
+    prog::LoadedImage ia = prog::link(pa);
+    prog::LoadedImage ib = prog::link(pb);
+    EXPECT_EQ(ia.nativeText, ib.nativeText);
+    EXPECT_EQ(pa.data, pb.data);
+}
+
+TEST(Generator, HitsTextSizeTarget)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.targetTextBytes = 100 * 1024;
+    WorkloadGenerator gen(spec);
+    prog::Program program = gen.generate();
+    double rel_err =
+        std::abs(static_cast<double>(program.textBytes()) -
+                 static_cast<double>(spec.targetTextBytes)) /
+        static_cast<double>(spec.targetTextBytes);
+    EXPECT_LT(rel_err, 0.10) << program.textBytes();
+}
+
+TEST(Generator, ProcedureCountsMatchSpec)
+{
+    WorkloadSpec spec = tinySpec();
+    WorkloadGenerator gen(spec);
+    prog::Program program = gen.generate();
+    // hot + cold + main
+    EXPECT_EQ(program.procs.size(),
+              spec.hotProcs + spec.coldProcs + 1);
+    EXPECT_EQ(program.procs[program.entry].name, "main");
+}
+
+TEST(Generator, UniqueFractionControlsDictionaryRatio)
+{
+    // Higher uniqueFraction => worse (larger) dictionary ratio.
+    WorkloadSpec lo = tinySpec();
+    lo.targetTextBytes = 128 * 1024;
+    lo.uniqueFraction = 0.10;
+    WorkloadSpec hi = lo;
+    hi.uniqueFraction = 0.35;
+
+    auto ratio_of = [](const WorkloadSpec &spec) {
+        WorkloadGenerator gen(spec);
+        prog::Program program = gen.generate();
+        prog::LoadedImage image = prog::linkFullyCompressed(program);
+        auto dc =
+            compress::DictionaryCompressor::compress(image.decompText);
+        return static_cast<double>(dc.compressedBytes()) /
+               static_cast<double>(image.decompText.size() * 4);
+    };
+    double r_lo = ratio_of(lo);
+    double r_hi = ratio_of(hi);
+    EXPECT_LT(r_lo, r_hi);
+    // Ratio ~ 0.5 + uniques/insns: sanity band.
+    EXPECT_GT(r_lo, 0.5);
+    EXPECT_LT(r_hi, 1.0);
+}
+
+TEST(Generator, GeneratedProgramPassesCheck)
+{
+    WorkloadGenerator gen(tinySpec(11));
+    prog::Program program = gen.generate();
+    program.check();  // panics on inconsistency
+    // Relocations reference real procedures.
+    for (const prog::DataReloc &reloc : program.dataRelocs) {
+        EXPECT_GE(reloc.proc, 0);
+        EXPECT_LT(reloc.proc,
+                  static_cast<int32_t>(program.procs.size()));
+    }
+    EXPECT_FALSE(program.dataRelocs.empty());
+}
+
+TEST(Benchmarks, AllEightPresent)
+{
+    const auto &list = paperBenchmarks();
+    ASSERT_EQ(list.size(), 8u);
+    const char *expected[] = {"cc1", "ghostscript", "go", "ijpeg",
+                              "mpeg2enc", "pegwit", "perl", "vortex"};
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(list[i].spec.name, expected[i]);
+}
+
+TEST(Benchmarks, SpecsCarryPaperNumbers)
+{
+    const PaperBenchmark &cc1 = paperBenchmark("cc1");
+    EXPECT_EQ(cc1.paperTextBytes, 1083168u);
+    EXPECT_NEAR(cc1.paperDictRatio, 65.4, 1e-9);
+    EXPECT_NEAR(cc1.paperMissRatio, 2.93, 1e-9);
+    EXPECT_NEAR(cc1.paperSlowdownCp, 17.88, 1e-9);
+    EXPECT_EQ(cc1.spec.targetTextBytes, cc1.paperTextBytes);
+}
+
+TEST(Benchmarks, ScaledSpecScalesOnlyDynamicLength)
+{
+    const PaperBenchmark &go = paperBenchmark("go");
+    WorkloadSpec half = scaledSpec(go, 0.5);
+    EXPECT_EQ(half.targetTextBytes, go.spec.targetTextBytes);
+    EXPECT_EQ(half.targetDynamicInsns, go.spec.targetDynamicInsns / 2);
+    WorkloadSpec floor = scaledSpec(go, 1e-9);
+    EXPECT_EQ(floor.targetDynamicInsns, 100'000u);
+}
+
+TEST(Generator, ColdBurstRepeatsTableEntries)
+{
+    WorkloadSpec spec = tinySpec(5);
+    spec.coldBurst = 4;
+    WorkloadGenerator gen(spec);
+    prog::Program program = gen.generate();
+    // Count adjacent repeats in the call table: with burst 4, at least
+    // half of adjacent pairs must repeat (boundaries break some runs).
+    size_t repeats = 0;
+    const auto &relocs = program.dataRelocs;
+    ASSERT_GT(relocs.size(), 16u);
+    for (size_t i = 1; i < relocs.size(); ++i)
+        repeats += relocs[i].proc == relocs[i - 1].proc;
+    EXPECT_GT(repeats, relocs.size() / 2);
+}
+
+TEST(Generator, BurstLowersMissRatio)
+{
+    // Same workload, bursty vs non-bursty call pattern: bursts keep a
+    // cold procedure's lines cached across its repeat calls.
+    WorkloadSpec base = tinySpec(6);
+    base.coldCallsPerIter = 8;
+    base.hotLoopIters = 2;
+    WorkloadSpec bursty = base;
+    bursty.coldBurst = 4;
+
+    auto miss_ratio = [](const WorkloadSpec &spec) {
+        WorkloadGenerator gen(spec);
+        prog::Program program = gen.generate();
+        core::SystemConfig config;
+        core::System system(program, config);
+        return system.run().stats.icacheMissRatio();
+    };
+    EXPECT_LT(miss_ratio(bursty), miss_ratio(base) * 0.6);
+}
+
+TEST(Benchmarks, LoopOrientationSeparatesClasses)
+{
+    // The loop-oriented benchmarks must have much higher inner-loop trip
+    // counts than the call-oriented ones (this is what separates the
+    // miss-based-selection winners in section 5.3).
+    EXPECT_GT(paperBenchmark("mpeg2enc").spec.hotLoopIters,
+              4 * paperBenchmark("cc1").spec.hotLoopIters);
+    EXPECT_GT(paperBenchmark("pegwit").spec.hotLoopIters,
+              4 * paperBenchmark("vortex").spec.hotLoopIters);
+}
+
+} // namespace
+} // namespace rtd::workload
