@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table2 "/root/repo/build/bench/bench_table2")
+set_tests_properties(smoke_bench_table2 PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table3 "/root/repo/build/bench/bench_table3")
+set_tests_properties(smoke_bench_table3 PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_kirovski "/root/repo/build/bench/bench_kirovski")
+set_tests_properties(smoke_bench_kirovski PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_thumb "/root/repo/build/bench/bench_thumb")
+set_tests_properties(smoke_bench_thumb PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
