@@ -10,83 +10,18 @@
  *     of the handler's cost is instruction execution vs memory traffic.
  *  2. D-cache size sweep, which modulates how much of the dictionary
  *     stays resident between misses.
+ *
+ * Runs on the sweep harness; rows are also written to
+ * BENCH_ablation_handler.json.
  */
 
-#include <cstdio>
-
-#include "../bench/common.h"
-#include "support/table.h"
-
-using namespace rtd;
-using compress::Scheme;
+#include "harness/sweeps.h"
+#include "support/logging.h"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("=== Ablation: handler data-access path ===\n");
-    double scale = bench::announceScale();
-
-    const char *names[] = {"cc1", "go", "perl"};
-
-    std::printf("\n--- cached vs uncached handler loads ---\n");
-    Table cached_table({"benchmark", "scheme", "D$ cached", "uncached",
-                        "penalty"});
-    for (const char *name : names) {
-        const auto &benchmark = workload::paperBenchmark(name);
-        prog::Program program = bench::generateBenchmark(benchmark, scale);
-        cpu::CpuConfig machine = core::paperMachine();
-        core::SystemResult native = core::runNative(program, machine);
-        for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
-            core::SystemResult cached =
-                core::runCompressed(program, scheme, false, machine);
-            cpu::CpuConfig uncached_machine = machine;
-            uncached_machine.handlerDataUncached = true;
-            core::SystemResult uncached = core::runCompressed(
-                program, scheme, false, uncached_machine);
-            double s_cached = core::slowdown(cached, native);
-            double s_uncached = core::slowdown(uncached, native);
-            cached_table.addRow({
-                name,
-                compress::schemeName(scheme),
-                fmtDouble(s_cached, 2),
-                fmtDouble(s_uncached, 2),
-                fmtDouble(s_uncached / s_cached, 2) + "x",
-            });
-        }
-    }
-    std::printf("%s", cached_table.render().c_str());
-
-    std::printf("\n--- D-cache size (dictionary residency) ---\n");
-    Table dsize_table({"benchmark", "D$", "D slowdown", "handler D-miss "
-                       "share"});
-    for (const char *name : names) {
-        const auto &benchmark = workload::paperBenchmark(name);
-        prog::Program program = bench::generateBenchmark(benchmark, scale);
-        for (uint32_t kb : {4u, 8u, 32u}) {
-            cpu::CpuConfig machine = core::paperMachine();
-            machine.dcache.sizeBytes = kb * 1024;
-            core::SystemResult native = core::runNative(program, machine);
-            core::SystemResult dict = core::runCompressed(
-                program, Scheme::Dictionary, false, machine);
-            // D-misses added by decompression, per exception.
-            double extra =
-                dict.stats.exceptions
-                    ? static_cast<double>(dict.stats.dcacheMisses -
-                                          native.stats.dcacheMisses) /
-                          static_cast<double>(dict.stats.exceptions)
-                    : 0.0;
-            dsize_table.addRow({
-                name,
-                std::to_string(kb) + "KB",
-                fmtDouble(core::slowdown(dict, native), 2),
-                fmtDouble(extra, 2) + " miss/exc",
-            });
-        }
-    }
-    std::printf("%s", dsize_table.render().c_str());
-    std::printf("\nCaching the decompressor's tables matters: popular "
-                "dictionary entries stay\nresident, which is a large "
-                "part of why the dictionary handler beats CodePack.\n");
-    return 0;
+    rtd::setInformEnabled(false);
+    return rtd::harness::runSweep(
+        "ablation_handler", rtd::harness::SweepOptions::fromEnv());
 }

@@ -7,56 +7,18 @@
  * granularity at a fixed 16 KB capacity. Longer lines amortize the
  * handler's setup cost over more words but decompress speculatively
  * more code per miss.
+ *
+ * Runs on the sweep harness; rows are also written to
+ * BENCH_ablation_linesize.json.
  */
 
-#include <cstdio>
-
-#include "../bench/common.h"
-#include "support/table.h"
-
-using namespace rtd;
-using compress::Scheme;
+#include "harness/sweeps.h"
+#include "support/logging.h"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("=== Ablation: I-cache line size (dictionary) ===\n");
-    double scale = bench::announceScale();
-
-    const char *names[] = {"go", "vortex", "ijpeg"};
-    Table table({"benchmark", "line", "miss ratio", "handler insns/miss",
-                 "D slowdown", "D+RF slowdown"});
-    for (const char *name : names) {
-        const auto &benchmark = workload::paperBenchmark(name);
-        prog::Program program = bench::generateBenchmark(benchmark, scale);
-        for (uint32_t line : {16u, 32u, 64u}) {
-            cpu::CpuConfig machine = core::paperMachine();
-            machine.icache.lineBytes = line;
-            core::SystemResult native = core::runNative(program, machine);
-            core::SystemResult dict = core::runCompressed(
-                program, Scheme::Dictionary, false, machine);
-            core::SystemResult rf = core::runCompressed(
-                program, Scheme::Dictionary, true, machine);
-            double per_miss =
-                dict.stats.exceptions
-                    ? static_cast<double>(dict.stats.handlerInsns) /
-                          static_cast<double>(dict.stats.exceptions)
-                    : 0.0;
-            table.addRow({
-                name,
-                std::to_string(line) + "B",
-                fmtPercent(100 * native.stats.icacheMissRatio(), 3),
-                fmtDouble(per_miss, 0),
-                fmtDouble(core::slowdown(dict, native), 2),
-                fmtDouble(core::slowdown(rf, native), 2),
-            });
-        }
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nHandler cost per miss is 19 + 7*words/line "
-                "instructions (Figure 2): 47 for 16 B\nlines, 75 for "
-                "32 B, 131 for 64 B; longer lines trade fewer misses "
-                "for more work each.\n");
-    return 0;
+    rtd::setInformEnabled(false);
+    return rtd::harness::runSweep(
+        "ablation_linesize", rtd::harness::SweepOptions::fromEnv());
 }

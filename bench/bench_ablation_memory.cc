@@ -7,50 +7,18 @@
  * than the handler cost (the handler burns cycles executing
  * instructions, not waiting on the bus), so slowdowns grow as memory
  * gets faster — the interesting inversion this ablation quantifies.
+ *
+ * Runs on the sweep harness; rows are also written to
+ * BENCH_ablation_memory.json.
  */
 
-#include <cstdio>
-
-#include "../bench/common.h"
-#include "support/table.h"
-
-using namespace rtd;
-using compress::Scheme;
+#include "harness/sweeps.h"
+#include "support/logging.h"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("=== Ablation: memory latency vs decompression "
-                "overhead ===\n");
-    double scale = bench::announceScale();
-
-    const char *names[] = {"go", "perl", "mpeg2enc"};
-    Table table({"benchmark", "mem latency", "native CPI", "D slowdown",
-                 "CP slowdown"});
-    for (const char *name : names) {
-        const auto &benchmark = workload::paperBenchmark(name);
-        prog::Program program = bench::generateBenchmark(benchmark, scale);
-        for (unsigned latency : {5u, 10u, 20u, 40u}) {
-            cpu::CpuConfig machine = core::paperMachine();
-            machine.memTiming.firstAccessCycles = latency;
-            core::SystemResult native = core::runNative(program, machine);
-            core::SystemResult dict = core::runCompressed(
-                program, Scheme::Dictionary, false, machine);
-            core::SystemResult cp = core::runCompressed(
-                program, Scheme::CodePack, false, machine);
-            table.addRow({
-                name,
-                std::to_string(latency) + " cyc",
-                fmtDouble(native.stats.cpi(), 2),
-                fmtDouble(core::slowdown(dict, native), 2),
-                fmtDouble(core::slowdown(cp, native), 2),
-            });
-        }
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nExpected shape: relative slowdown *rises* as memory "
-                "gets faster, because the\nhardware fill path speeds up "
-                "while the handler's instruction execution does not.\n");
-    return 0;
+    rtd::setInformEnabled(false);
+    return rtd::harness::runSweep(
+        "ablation_memory", rtd::harness::SweepOptions::fromEnv());
 }

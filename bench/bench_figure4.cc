@@ -10,56 +10,20 @@
  * Expected shape (paper section 5.2): for dictionary, points below a 1%
  * miss ratio stay under a 2x slowdown; for CodePack, under 5x. Larger
  * caches pull every benchmark down the curve.
+ *
+ * Runs on the sweep harness: jobs execute across all cores (RTDC_JOBS
+ * overrides the worker count), the printed tables are identical to the
+ * pre-harness serial output, and the result rows are additionally
+ * written to BENCH_figure4.json.
  */
 
-#include <cstdio>
-
-#include "../bench/common.h"
-#include "support/table.h"
-
-using namespace rtd;
-using compress::Scheme;
+#include "harness/sweeps.h"
+#include "support/logging.h"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("=== Figure 4: I-cache miss ratio vs execution time ===\n");
-    double scale = bench::announceScale();
-
-    const uint32_t cache_sizes[] = {4 * 1024, 16 * 1024, 64 * 1024};
-
-    for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
-        std::printf("\n--- Figure 4%s: %s ---\n",
-                    scheme == Scheme::Dictionary ? "a" : "b",
-                    compress::schemeName(scheme));
-        Table table({"benchmark", "I$", "miss ratio", "slowdown",
-                     "slowdown+RF"});
-        for (const auto &benchmark : workload::paperBenchmarks()) {
-            prog::Program program =
-                bench::generateBenchmark(benchmark, scale);
-            for (uint32_t icache_bytes : cache_sizes) {
-                cpu::CpuConfig machine = core::paperMachine(icache_bytes);
-                core::SystemResult native =
-                    core::runNative(program, machine);
-                core::SystemResult base = core::runCompressed(
-                    program, scheme, false, machine);
-                core::SystemResult rf = core::runCompressed(
-                    program, scheme, true, machine);
-                table.addRow({
-                    benchmark.spec.name,
-                    std::to_string(icache_bytes / 1024) + "KB",
-                    fmtPercent(100 * native.stats.icacheMissRatio(), 3),
-                    fmtDouble(core::slowdown(base, native), 2),
-                    fmtDouble(core::slowdown(rf, native), 2),
-                });
-            }
-        }
-        std::printf("%s", table.render().c_str());
-    }
-    std::printf("\nExpected shape: slowdown grows with miss ratio; "
-                "below 1%% miss the dictionary stays\nunder ~2x and "
-                "CodePack under ~5x; the 64 KB cache pulls every "
-                "benchmark toward 1x.\n");
-    return 0;
+    rtd::setInformEnabled(false);
+    return rtd::harness::runSweep(
+        "figure4", rtd::harness::SweepOptions::fromEnv());
 }

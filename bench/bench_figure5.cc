@@ -15,59 +15,20 @@
  *  - occasional non-monotonicity from the procedure-placement effect;
  *  - CodePack hybrids can be both smaller and faster than dictionary
  *    hybrids at matched points (ijpeg, ghostscript in the paper).
+ *
+ * Runs on the sweep harness: a parallel profiling phase feeds the
+ * selection grid, the printed tables are identical to the pre-harness
+ * serial output, and the result rows are additionally written to
+ * BENCH_figure5.json.
  */
 
-#include <cstdio>
-
-#include "../bench/common.h"
-#include "profile/selection.h"
-#include "support/table.h"
-
-using namespace rtd;
-using compress::Scheme;
-using profile::SelectionPolicy;
+#include "harness/sweeps.h"
+#include "support/logging.h"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf(
-        "=== Figure 5: selective compression size/speed curves ===\n");
-    double scale = bench::announceScale();
-    cpu::CpuConfig machine = core::paperMachine();
-    bench::printMachineHeader(machine);
-
-    for (const auto &benchmark : workload::paperBenchmarks()) {
-        prog::Program program = bench::generateBenchmark(benchmark, scale);
-        core::SystemResult native = core::runNative(program, machine);
-        profile::ProcedureProfile profile =
-            core::profileProgram(program, machine);
-
-        std::printf("\n--- %s ---\n", benchmark.spec.name.c_str());
-        Table table({"series", "threshold", "ratio", "slowdown"});
-        for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
-            for (SelectionPolicy policy :
-                 {SelectionPolicy::ExecutionBased,
-                  SelectionPolicy::MissBased}) {
-                std::string series =
-                    std::string(scheme == Scheme::Dictionary ? "D" : "CP") +
-                    " " + profile::policyName(policy);
-                for (double threshold :
-                     {0.0, 0.05, 0.10, 0.15, 0.20, 0.50, 1.0}) {
-                    auto regions = profile::selectNative(profile, policy,
-                                                         threshold);
-                    core::SystemResult run = core::runCompressed(
-                        program, scheme, false, machine, regions);
-                    table.addRow({
-                        series,
-                        fmtPercent(100 * threshold, 0),
-                        fmtPercent(100 * run.compressionRatio(), 1),
-                        fmtDouble(core::slowdown(run, native), 3),
-                    });
-                }
-            }
-        }
-        std::printf("%s", table.render().c_str());
-    }
-    return 0;
+    rtd::setInformEnabled(false);
+    return rtd::harness::runSweep(
+        "figure5", rtd::harness::SweepOptions::fromEnv());
 }

@@ -5,49 +5,20 @@
  * dictionary + second register file (D+RF), CodePack (CP), and
  * CodePack + second register file (CP+RF), on the 16 KB I-cache
  * baseline machine.
+ *
+ * Runs on the sweep harness: jobs execute across all cores (RTDC_JOBS
+ * overrides the worker count), the printed table is identical to the
+ * pre-harness serial output, and the result rows are additionally
+ * written to BENCH_table3.json.
  */
 
-#include <cstdio>
-
-#include "../bench/common.h"
-#include "support/table.h"
-
-using namespace rtd;
-using compress::Scheme;
+#include "harness/sweeps.h"
+#include "support/logging.h"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("=== Table 3: slowdown compared to native code ===\n");
-    double scale = bench::announceScale();
-    cpu::CpuConfig machine = core::paperMachine();
-    bench::printMachineHeader(machine);
-
-    Table table({"benchmark", "D (paper)", "D+RF (paper)", "CP (paper)",
-                 "CP+RF (paper)"});
-
-    for (const auto &benchmark : workload::paperBenchmarks()) {
-        prog::Program program = bench::generateBenchmark(benchmark, scale);
-        core::SystemResult native = core::runNative(program, machine);
-
-        auto cell = [&](Scheme scheme, bool rf, double published) {
-            core::SystemResult run =
-                core::runCompressed(program, scheme, rf, machine);
-            return fmtDouble(core::slowdown(run, native), 2) + " (" +
-                   fmtDouble(published, 2) + ")";
-        };
-        table.addRow({
-            benchmark.spec.name,
-            cell(Scheme::Dictionary, false, benchmark.paperSlowdownD),
-            cell(Scheme::Dictionary, true, benchmark.paperSlowdownDRf),
-            cell(Scheme::CodePack, false, benchmark.paperSlowdownCp),
-            cell(Scheme::CodePack, true, benchmark.paperSlowdownCpRf),
-        });
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nExpected shape: D < 3x everywhere; CP < 18x; the "
-                "second register file\ncuts dictionary overhead by "
-                "nearly half but barely moves CodePack (section 5.2).\n");
-    return 0;
+    rtd::setInformEnabled(false);
+    return rtd::harness::runSweep(
+        "table3", rtd::harness::SweepOptions::fromEnv());
 }

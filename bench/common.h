@@ -3,6 +3,12 @@
  * Shared helpers for the bench binaries. Each bench regenerates one of
  * the paper's tables or figures by running full simulations and printing
  * paper-vs-measured rows.
+ *
+ * The text formatting itself lives in the sweep harness
+ * (harness/result_sink.h) so that the machine configuration is defined
+ * once and emitted in both the human header form and the JSON form the
+ * harness's result sinks write; these wrappers keep the pre-harness
+ * bench binaries source-compatible.
  */
 
 #ifndef RTDC_BENCH_COMMON_H
@@ -11,6 +17,7 @@
 #include <cstdio>
 
 #include "core/experiment.h"
+#include "harness/result_sink.h"
 #include "support/logging.h"
 #include "workload/benchmarks.h"
 #include "workload/generator.h"
@@ -21,27 +28,14 @@ namespace rtd::bench {
 inline void
 printMachineHeader(const cpu::CpuConfig &machine)
 {
-    std::printf("machine: 1-wide in-order | I$ %uKB/%uB/%u-way LRU | "
-                "D$ %uKB/%uB/%u-way LRU | bimodal %u | mem %u-cycle "
-                "latency, %u-cycle rate, %u-bit bus\n",
-                machine.icache.sizeBytes / 1024, machine.icache.lineBytes,
-                machine.icache.assoc, machine.dcache.sizeBytes / 1024,
-                machine.dcache.lineBytes, machine.dcache.assoc,
-                machine.predictorEntries,
-                machine.memTiming.firstAccessCycles,
-                machine.memTiming.burstRateCycles,
-                machine.memTiming.busBytes * 8);
+    std::fputs(harness::machineHeaderLine(machine).c_str(), stdout);
 }
 
 /** Print the dynamic-scale banner (RTDC_BENCH_SCALE). */
 inline double
 announceScale()
 {
-    double scale = core::benchScaleFromEnv();
-    if (scale != 1.0)
-        std::printf("dynamic-length scale: %.3fx (RTDC_BENCH_SCALE)\n",
-                    scale);
-    return scale;
+    return harness::announceScale(core::benchScaleFromEnv());
 }
 
 /** Generate one paper benchmark's program at the given dynamic scale. */

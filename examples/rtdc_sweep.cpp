@@ -1,0 +1,101 @@
+/**
+ * @file
+ * rtdc_sweep — unified driver for the registered design-space sweeps.
+ *
+ * Runs any registered sweep (the paper's figures/tables and the
+ * ablations) on the parallel sweep harness: jobs execute across worker
+ * threads, expensive intermediates (generated programs, linked and
+ * compressed images) are shared through the artifact cache, and the
+ * result rows are written to JSON (and optionally CSV) alongside the
+ * exact human tables the bench binaries print.
+ *
+ *   $ ./build/examples/rtdc_sweep --list
+ *   $ ./build/examples/rtdc_sweep figure4 --jobs $(nproc)
+ *   $ ./build/examples/rtdc_sweep table3 --jobs 4 --scale 0.2 \
+ *         --out table3.json --csv table3.csv
+ *
+ * Parallel runs are byte-identical to --jobs 1 (see DESIGN.md,
+ * "Harness": every job's randomness flows from its own workload seed).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/sweeps.h"
+#include "support/logging.h"
+
+using namespace rtd;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--list] SWEEP [options]\n"
+        "  --jobs N      worker threads (default: all cores; RTDC_JOBS)\n"
+        "  --scale F     dynamic-length scale factor (default: "
+        "RTDC_BENCH_SCALE or 1)\n"
+        "  --out FILE    JSON output path (default: BENCH_<sweep>.json)\n"
+        "  --csv FILE    also write result rows as CSV\n"
+        "  --no-json     skip the JSON output file\n"
+        "  --list        list registered sweeps\n",
+        argv0);
+    std::exit(2);
+}
+
+void
+listSweeps()
+{
+    for (const harness::SweepInfo &info : harness::sweeps())
+        std::printf("%-18s %s\n", info.name, info.description);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    harness::SweepOptions opts = harness::SweepOptions::fromEnv();
+    std::string sweep;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            listSweeps();
+            return 0;
+        } else if (arg == "--jobs") {
+            int jobs = std::atoi(next());
+            if (jobs <= 0)
+                usage(argv[0]);
+            opts.jobs = static_cast<unsigned>(jobs);
+        } else if (arg == "--scale") {
+            double scale = std::atof(next());
+            if (scale <= 0.0)
+                usage(argv[0]);
+            opts.scale = scale;
+        } else if (arg == "--out") {
+            opts.outPath = next();
+        } else if (arg == "--csv") {
+            opts.csvPath = next();
+        } else if (arg == "--no-json") {
+            opts.writeJson = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else if (sweep.empty()) {
+            sweep = arg;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (sweep.empty())
+        usage(argv[0]);
+    return harness::runSweep(sweep, opts);
+}

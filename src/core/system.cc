@@ -19,9 +19,11 @@ SystemResult::compressionRatio() const
            static_cast<double>(originalTextBytes);
 }
 
-System::System(const prog::Program &program, const SystemConfig &config)
-    : config_(config)
+BuiltImage
+buildImage(const prog::Program &program, const SystemConfig &config)
 {
+    BuiltImage built;
+
     // Region assignment: default everything-native for plain programs,
     // everything-compressed when a scheme is selected.
     std::vector<prog::Region> regions = config.regions;
@@ -31,31 +33,84 @@ System::System(const prog::Program &program, const SystemConfig &config)
                            ? prog::Region::Native
                            : prog::Region::Compressed);
     }
-    image_ = prog::link(program, regions, config.order);
+    built.image = prog::link(program, regions, config.order);
+
+    if (config.scheme == compress::Scheme::None ||
+        config.scheme == compress::Scheme::ProcLzrw1 ||
+        built.image.decompText.empty()) {
+        // Nothing for a line-granular decompressor to reconstruct: a
+        // plain native program, the procedure-granular baseline (whose
+        // per-procedure image depends on the cache configuration and is
+        // built per-System), or a selection that left everything native.
+        return built;
+    }
+
+    // Pad the compressed-region stream to a whole number of CodePack
+    // groups (64 B; also a whole number of I-cache lines), since the
+    // decompressor always reconstructs full lines/groups.
+    std::vector<uint32_t> words = built.image.decompText;
+    uint32_t pad_words = static_cast<uint32_t>(
+        alignUp(words.size() * 4, 64) / 4 - words.size());
+    for (uint32_t i = 0; i < pad_words; ++i)
+        words.push_back(isa::nopWord());
+    built.paddedRegionBytes = static_cast<uint32_t>(words.size()) * 4;
+
+    switch (config.scheme) {
+      case compress::Scheme::Dictionary:
+        built.cimage = compress::DictionaryCompressor::buildImage(
+            words, built.image.decompBase);
+        break;
+      case compress::Scheme::CodePack:
+        built.cimage =
+            compress::CodePack::buildImage(words, built.image.decompBase);
+        break;
+      case compress::Scheme::HuffmanLine:
+        built.cimage = compress::HuffmanLine::buildImage(
+            words, built.image.decompBase, config.cpu.icache.lineBytes);
+        break;
+      case compress::Scheme::None:
+      case compress::Scheme::ProcLzrw1:
+        break;  // unreachable: handled above
+    }
+    return built;
+}
+
+System::System(const prog::Program &program, const SystemConfig &config)
+    : System(std::make_shared<const BuiltImage>(buildImage(program,
+                                                           config)),
+             config)
+{
+}
+
+System::System(std::shared_ptr<const BuiltImage> built,
+               const SystemConfig &config)
+    : config_(config), built_(std::move(built))
+{
+    const prog::LoadedImage &image = built_->image;
 
     memory_ = mem::MainMemory(config.cpu.memTiming);
 
     // Native-region text and data live in main memory.
-    if (!image_.nativeText.empty()) {
-        for (size_t i = 0; i < image_.nativeText.size(); ++i) {
-            memory_.write32(image_.nativeBase +
+    if (!image.nativeText.empty()) {
+        for (size_t i = 0; i < image.nativeText.size(); ++i) {
+            memory_.write32(image.nativeBase +
                                 static_cast<uint32_t>(i) * 4,
-                            image_.nativeText[i]);
+                            image.nativeText[i]);
         }
     }
-    if (!image_.data.empty()) {
-        memory_.writeBlock(image_.dataBase, image_.data.data(),
-                           image_.data.size());
+    if (!image.data.empty()) {
+        memory_.writeBlock(image.dataBase, image.data.data(),
+                           image.data.size());
     }
 
-    cpu_ = std::make_unique<cpu::Cpu>(config.cpu, memory_, image_);
+    cpu_ = std::make_unique<cpu::Cpu>(config.cpu, memory_, image);
 
     if (config.scheme == compress::Scheme::ProcLzrw1) {
         // Procedure-based baseline: whole program compressed
         // per-procedure; no selective hybrid form.
-        RTDC_ASSERT(image_.nativeText.empty(),
+        RTDC_ASSERT(image.nativeText.empty(),
                     "ProcLzrw1 does not support selective compression");
-        pimage_ = proccache::compressProcedures(image_);
+        pimage_ = proccache::compressProcedures(image);
         for (const compress::CompressedSegment &seg :
              pimage_.memory.segments) {
             memory_.writeBlock(seg.base, seg.bytes.data(),
@@ -65,35 +120,9 @@ System::System(const prog::Program &program, const SystemConfig &config)
         cpu_->attachProcDecompressor(pimage_, procHandler_,
                                      config.procCache);
     } else if (config.scheme != compress::Scheme::None &&
-               !image_.decompText.empty()) {
-        // Pad the compressed-region stream to a whole number of CodePack
-        // groups (64 B; also a whole number of I-cache lines), since the
-        // decompressor always reconstructs full lines/groups.
-        std::vector<uint32_t> words = image_.decompText;
-        uint32_t pad_words = static_cast<uint32_t>(
-            alignUp(words.size() * 4, 64) / 4 - words.size());
-        for (uint32_t i = 0; i < pad_words; ++i)
-            words.push_back(isa::nopWord());
-        paddedRegionBytes_ = static_cast<uint32_t>(words.size()) * 4;
-
-        switch (config.scheme) {
-          case compress::Scheme::Dictionary:
-            cimage_ = compress::DictionaryCompressor::buildImage(
-                words, image_.decompBase);
-            break;
-          case compress::Scheme::CodePack:
-            cimage_ = compress::CodePack::buildImage(words,
-                                                     image_.decompBase);
-            break;
-          case compress::Scheme::HuffmanLine:
-            cimage_ = compress::HuffmanLine::buildImage(
-                words, image_.decompBase, config.cpu.icache.lineBytes);
-            break;
-          case compress::Scheme::None:
-          case compress::Scheme::ProcLzrw1:
-            break;  // handled above
-        }
-        for (const compress::CompressedSegment &seg : cimage_.segments) {
+               !image.decompText.empty()) {
+        for (const compress::CompressedSegment &seg :
+             built_->cimage.segments) {
             memory_.writeBlock(seg.base, seg.bytes.data(),
                                seg.bytes.size());
         }
@@ -101,11 +130,8 @@ System::System(const prog::Program &program, const SystemConfig &config)
         runtime::HandlerBuild handler = runtime::buildHandler(
             config.scheme, config.secondRegFile,
             config.cpu.icache.lineBytes);
-        cpu_->attachDecompressor(cimage_, handler, paddedRegionBytes_);
-    } else if (config.scheme != compress::Scheme::None) {
-        // A "compressed" configuration whose selection left everything
-        // native degenerates to a plain native program.
-        cimage_ = compress::CompressedImage{};
+        cpu_->attachDecompressor(built_->cimage, handler,
+                                 built_->paddedRegionBytes);
     }
 
     if (config.profiling)
@@ -117,22 +143,23 @@ System::~System() = default;
 SystemResult
 System::run()
 {
+    const prog::LoadedImage &image = built_->image;
     SystemResult result;
     result.stats = cpu_->run();
     if (result.stats.timedOut) {
         warn("%s: run stopped by maxUserInsns after %llu instructions",
-             image_.name.c_str(),
+             image.name.c_str(),
              static_cast<unsigned long long>(result.stats.userInsns));
     }
-    result.originalTextBytes = image_.textBytes();
+    result.originalTextBytes = image.textBytes();
     result.compressedPayloadBytes =
         config_.scheme == compress::Scheme::ProcLzrw1
             ? pimage_.compressedBytes()
-            : cimage_.compressedBytes();
-    result.nativeRegionBytes = image_.nativeTextBytes();
+            : built_->cimage.compressedBytes();
+    result.nativeRegionBytes = image.nativeTextBytes();
     if (config_.profiling) {
         result.profile = profile::remapProfile(
-            image_, cpu_->procExecInsns(), cpu_->procMisses(),
+            image, cpu_->procExecInsns(), cpu_->procMisses(),
             cpu_->procTransitions());
     }
     return result;

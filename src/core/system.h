@@ -74,6 +74,34 @@ struct SystemResult
     double compressionRatio() const;
 };
 
+/**
+ * The immutable link + compress products of one simulation point: the
+ * linked memory image and (when a line-granular scheme is selected) the
+ * compressed image with its dictionaries. Building these is the
+ * expensive, machine-independent front half of constructing a System;
+ * a BuiltImage is never mutated after buildImage() returns, so one
+ * instance can back many Systems concurrently (the sweep harness's
+ * ArtifactCache shares them across jobs).
+ */
+struct BuiltImage
+{
+    prog::LoadedImage image;
+    /** Empty for Scheme::None and Scheme::ProcLzrw1. */
+    compress::CompressedImage cimage;
+    /** Compressed-region bytes including group padding. */
+    uint32_t paddedRegionBytes = 0;
+};
+
+/**
+ * Link @p program and compress its compressed region as System's
+ * constructor would. Reads only config.scheme, config.regions,
+ * config.order and (for Scheme::HuffmanLine) config.cpu.icache.lineBytes
+ * — the rest of the configuration can vary freely across Systems that
+ * share the result.
+ */
+BuiltImage buildImage(const prog::Program &program,
+                      const SystemConfig &config);
+
 /** One runnable simulation instance. */
 class System
 {
@@ -83,6 +111,15 @@ class System
      * compressed region, assembles and loads the matching handler.
      */
     System(const prog::Program &program, const SystemConfig &config);
+
+    /**
+     * Build the system around pre-built (possibly shared) link/compress
+     * products. @p built must have been produced by buildImage() with a
+     * config whose image-relevant fields match @p config.
+     */
+    System(std::shared_ptr<const BuiltImage> built,
+           const SystemConfig &config);
+
     ~System();
 
     System(const System &) = delete;
@@ -93,10 +130,10 @@ class System
 
     /// @name Introspection (valid after construction)
     /// @{
-    const prog::LoadedImage &image() const { return image_; }
+    const prog::LoadedImage &image() const { return built_->image; }
     const compress::CompressedImage &compressedImage() const
     {
-        return cimage_;
+        return built_->cimage;
     }
     const cpu::Cpu &cpu() const { return *cpu_; }
     const mem::MainMemory &memory() const { return memory_; }
@@ -104,13 +141,11 @@ class System
 
   private:
     SystemConfig config_;
-    prog::LoadedImage image_;
+    std::shared_ptr<const BuiltImage> built_;
     mem::MainMemory memory_;
-    compress::CompressedImage cimage_;
     proccache::ProcCompressedImage pimage_;
     runtime::HandlerBuild procHandler_;
     std::unique_ptr<cpu::Cpu> cpu_;
-    uint32_t paddedRegionBytes_ = 0;
 };
 
 } // namespace rtd::core

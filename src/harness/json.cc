@@ -1,0 +1,527 @@
+#include "harness/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace rtd::harness {
+
+Json::Json(uint64_t value) : kind_(Kind::Int)
+{
+    RTDC_ASSERT(value <= static_cast<uint64_t>(INT64_MAX),
+                "JSON integer overflow");
+    int_ = static_cast<int64_t>(value);
+}
+
+Json::Json(double value) : kind_(Kind::Double), double_(value)
+{
+    RTDC_ASSERT(std::isfinite(value),
+                "JSON cannot represent NaN or infinity");
+}
+
+Json
+Json::array()
+{
+    Json v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Json
+Json::object()
+{
+    Json v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Json::asBool() const
+{
+    RTDC_ASSERT(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+int64_t
+Json::asInt() const
+{
+    RTDC_ASSERT(kind_ == Kind::Int, "JSON value is not an integer");
+    return int_;
+}
+
+double
+Json::asDouble() const
+{
+    RTDC_ASSERT(isNumber(), "JSON value is not a number");
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    RTDC_ASSERT(kind_ == Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+void
+Json::push(Json value)
+{
+    RTDC_ASSERT(kind_ == Kind::Array, "push() on a non-array JSON value");
+    items_.push_back(std::move(value));
+}
+
+size_t
+Json::size() const
+{
+    return kind_ == Kind::Array ? items_.size() : members_.size();
+}
+
+const Json &
+Json::at(size_t index) const
+{
+    RTDC_ASSERT(kind_ == Kind::Array && index < items_.size(),
+                "JSON array index out of range");
+    return items_[index];
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    RTDC_ASSERT(kind_ == Kind::Array, "items() on a non-array JSON value");
+    return items_;
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    RTDC_ASSERT(kind_ == Kind::Object, "set() on a non-object JSON value");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    const Json *value = find(key);
+    RTDC_ASSERT(value != nullptr, "missing JSON member '%s'", key.c_str());
+    return *value;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    RTDC_ASSERT(kind_ == Kind::Object,
+                "members() on a non-object JSON value");
+    return members_;
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNewline(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[40];
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+      case Kind::Double:
+        std::snprintf(buf, sizeof(buf), "%.10g", double_);
+        out += buf;
+        break;
+      case Kind::String:
+        appendEscaped(out, string_);
+        break;
+      case Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            appendNewline(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            appendNewline(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            appendNewline(out, indent, depth + 1);
+            appendEscaped(out, members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            appendNewline(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    bool parse(Json *out, std::string *error)
+    {
+        skipSpace();
+        Json value;
+        if (!parseValue(value))
+            return fail(error);
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error_ = "trailing characters";
+            return fail(error);
+        }
+        *out = std::move(value);
+        return true;
+    }
+
+  private:
+    bool fail(std::string *error)
+    {
+        if (error) {
+            *error = (error_.empty() ? "parse error" : error_) +
+                     " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool literal(const char *word, Json value, Json &out)
+    {
+        size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0) {
+            error_ = "invalid literal";
+            return false;
+        }
+        pos_ += len;
+        out = std::move(value);
+        return true;
+    }
+
+    bool parseValue(Json &out)
+    {
+        if (pos_ >= text_.size()) {
+            error_ = "unexpected end of input";
+            return false;
+        }
+        char c = text_[pos_];
+        switch (c) {
+          case 'n': return literal("null", Json(), out);
+          case 't': return literal("true", Json(true), out);
+          case 'f': return literal("false", Json(false), out);
+          case '"': return parseString(out);
+          case '[': return parseArray(out);
+          case '{': return parseObject(out);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool parseString(Json &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = Json(std::move(s));
+        return true;
+    }
+
+    bool parseRawString(std::string &s)
+    {
+        ++pos_;  // opening quote
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c != '\\') {
+                s += c;
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size()) {
+                error_ = "bad escape";
+                return false;
+            }
+            char esc = text_[pos_ + 1];
+            pos_ += 2;
+            switch (esc) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    error_ = "bad \\u escape";
+                    return false;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_ + i];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9') cp |= h - '0';
+                    else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
+                    else {
+                        error_ = "bad \\u escape";
+                        return false;
+                    }
+                }
+                pos_ += 4;
+                // UTF-8 encode the basic-plane code point (surrogate
+                // pairs are not combined; the sink never emits them).
+                if (cp < 0x80) {
+                    s += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    s += static_cast<char>(0xc0 | (cp >> 6));
+                    s += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    s += static_cast<char>(0xe0 | (cp >> 12));
+                    s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    s += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                error_ = "bad escape";
+                return false;
+            }
+        }
+        if (pos_ >= text_.size()) {
+            error_ = "unterminated string";
+            return false;
+        }
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool parseNumber(Json &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) {
+            error_ = "invalid value";
+            return false;
+        }
+        std::string token = text_.substr(start, pos_ - start);
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                out = Json(static_cast<int64_t>(v));
+                return true;
+            }
+            // Fall through to double for out-of-range integers.
+        }
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0') {
+            error_ = "invalid number";
+            return false;
+        }
+        out = Json(d);
+        return true;
+    }
+
+    bool parseArray(Json &out)
+    {
+        ++pos_;  // '['
+        Json array = Json::array();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out = std::move(array);
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            Json value;
+            if (!parseValue(value))
+                return false;
+            array.push(std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                error_ = "unterminated array";
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                out = std::move(array);
+                return true;
+            }
+            error_ = "expected ',' or ']'";
+            return false;
+        }
+    }
+
+    bool parseObject(Json &out)
+    {
+        ++pos_;  // '{'
+        Json object = Json::object();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out = std::move(object);
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                error_ = "expected object key";
+                return false;
+            }
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                error_ = "expected ':'";
+                return false;
+            }
+            ++pos_;
+            skipSpace();
+            Json value;
+            if (!parseValue(value))
+                return false;
+            if (!object.find(key))
+                object.set(key, std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                error_ = "unterminated object";
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                out = std::move(object);
+                return true;
+            }
+            error_ = "expected ',' or '}'";
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json *out, std::string *error)
+{
+    return Parser(text).parse(out, error);
+}
+
+} // namespace rtd::harness

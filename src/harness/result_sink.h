@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ResultSink: machine-readable row collection for sweeps.
+ *
+ * Every ported bench keeps printing the exact human tables it always
+ * printed; the sink additionally collects one flat JSON object per
+ * result row plus sweep metadata (machine configuration, dynamic-length
+ * scale) and writes them to `BENCH_<sweep>.json` and, optionally, CSV.
+ * The machine configuration is formatted here — once — in both the
+ * legacy human header form and JSON form, so bench/common.h and the
+ * sinks can never drift apart.
+ *
+ * Timing is deliberately excluded from the files: their bytes depend
+ * only on the result rows, so a `--jobs 4` sweep writes exactly the
+ * same file as `--jobs 1`.
+ */
+
+#ifndef RTDC_HARNESS_RESULT_SINK_H
+#define RTDC_HARNESS_RESULT_SINK_H
+
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "harness/json.h"
+
+namespace rtd::harness {
+
+/**
+ * The Table 1 machine-configuration line, exactly as the bench binaries
+ * have always printed it (trailing newline included).
+ */
+std::string machineHeaderLine(const cpu::CpuConfig &machine);
+
+/** The same machine configuration as a JSON object. */
+Json machineJson(const cpu::CpuConfig &machine);
+
+/**
+ * Print the dynamic-length banner for @p scale (only when != 1) and
+ * return it — the scale half of the old bench/common.h helpers.
+ */
+double announceScale(double scale);
+
+/** Collects one sweep's rows + metadata; writes JSON/CSV on demand. */
+class ResultSink
+{
+  public:
+    explicit ResultSink(std::string sweep) : sweep_(std::move(sweep)) {}
+
+    const std::string &sweep() const { return sweep_; }
+
+    /** Record the dynamic-length scale in the metadata. */
+    void setScale(double scale);
+
+    /** Record the machine configuration (human line + JSON form). */
+    void setMachine(const cpu::CpuConfig &machine);
+
+    /** Print the recorded machine header to stdout (legacy format). */
+    void printMachineHeader() const;
+
+    /** Append one result row (a flat JSON object). */
+    void addRow(Json row);
+
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Whole document: {"sweep":..., "machine":?, "scale":?, "rows":[...]}. */
+    Json toJson() const;
+
+    /** Write toJson() pretty-printed; false (with warn) on I/O error. */
+    bool writeJson(const std::string &path) const;
+
+    /**
+     * Write the rows as CSV: columns are the union of row keys in
+     * first-seen order; false (with warn) on I/O error.
+     */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::string sweep_;
+    bool hasScale_ = false;
+    double scale_ = 1.0;
+    bool hasMachine_ = false;
+    std::string machineLine_;
+    Json machineJson_;
+    std::vector<Json> rows_;
+};
+
+} // namespace rtd::harness
+
+#endif // RTDC_HARNESS_RESULT_SINK_H

@@ -1,0 +1,82 @@
+#include "harness/runner.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "harness/thread_pool.h"
+
+namespace rtd::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads ? threads : ThreadPool::defaultThreadCount())
+{
+}
+
+std::vector<JobResult>
+SweepRunner::run(const std::string &label, const std::vector<Job> &jobs,
+                 ArtifactCache &cache)
+{
+    std::vector<JobResult> results(jobs.size());
+    uint64_t hits_before = cache.hits();
+    uint64_t builds_before = cache.builds();
+    Clock::time_point start = Clock::now();
+
+    std::mutex progress_mutex;
+    size_t completed = 0;
+    Clock::time_point last_report = start;
+    bool interactive = isatty(2) != 0;
+
+    {
+        ThreadPool pool(threads_);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&, i] {
+                Clock::time_point job_start = Clock::now();
+                const Job &job = jobs[i];
+                std::shared_ptr<const core::BuiltImage> built =
+                    cache.builtImage(job.workload, job.config);
+                core::System system(built, job.config);
+                results[i].result = system.run();
+                results[i].wallSeconds = secondsSince(job_start);
+
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                ++completed;
+                if (interactive &&
+                    secondsSince(last_report) >= 0.5) {
+                    last_report = Clock::now();
+                    std::fprintf(stderr, "[%s] %zu/%zu jobs, %.1fs\n",
+                                 label.c_str(), completed, jobs.size(),
+                                 secondsSince(start));
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    std::fprintf(stderr,
+                 "[%s] %zu jobs in %.2fs on %u thread%s "
+                 "(artifact cache: %llu hits, %llu builds)\n",
+                 label.c_str(), jobs.size(), secondsSince(start),
+                 threads_, threads_ == 1 ? "" : "s",
+                 static_cast<unsigned long long>(cache.hits() -
+                                                 hits_before),
+                 static_cast<unsigned long long>(cache.builds() -
+                                                 builds_before));
+    return results;
+}
+
+} // namespace rtd::harness

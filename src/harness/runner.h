@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SweepRunner: executes a list of Jobs across worker threads.
+ *
+ * Results come back in a vector aligned with the submitted job list —
+ * completion order never leaks into the output, which (together with
+ * jobs being pure functions of their values, see job.h) makes a
+ * parallel sweep byte-identical to a serial one.
+ *
+ * Progress goes to stderr (never stdout — the ported benches promise
+ * byte-stable human tables on stdout): a throttled "k/n jobs" line
+ * while running when stderr is a terminal, and one final summary line
+ * with wall-clock time and artifact-cache effectiveness.
+ */
+
+#ifndef RTDC_HARNESS_RUNNER_H
+#define RTDC_HARNESS_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "harness/artifact_cache.h"
+#include "harness/job.h"
+
+namespace rtd::harness {
+
+/** Parallel executor for sweep jobs. */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; 0 means one per hardware thread. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Execute every job (in any order, on any worker) and return their
+     * results in job-list order. Expensive intermediates are shared
+     * through @p cache. @p label prefixes the progress lines.
+     */
+    std::vector<JobResult> run(const std::string &label,
+                               const std::vector<Job> &jobs,
+                               ArtifactCache &cache);
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace rtd::harness
+
+#endif // RTDC_HARNESS_RUNNER_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Registered sweeps: every ported bench (Figure 4, Figure 5, Table 3,
+ * and the three ablations) as a named, harness-executed sweep.
+ *
+ * Each sweep function prints exactly the human tables its bench binary
+ * has always printed (stdout is byte-stable) and returns a filled
+ * ResultSink; runSweep() additionally writes the sink to
+ * `BENCH_<name>.json` (and optional CSV). The bench binaries and the
+ * `rtdc_sweep` CLI are both thin wrappers over this registry.
+ */
+
+#ifndef RTDC_HARNESS_SWEEPS_H
+#define RTDC_HARNESS_SWEEPS_H
+
+#include <string>
+#include <vector>
+
+#include "harness/result_sink.h"
+
+namespace rtd::harness {
+
+/** How to execute a registered sweep. */
+struct SweepOptions
+{
+    unsigned jobs = 0;     ///< worker threads; 0 = all hardware threads
+    double scale = 1.0;    ///< dynamic-length scale factor
+    bool writeJson = true; ///< write BENCH_<sweep>.json after the run
+    std::string outPath;   ///< JSON path; empty = BENCH_<sweep>.json
+    std::string csvPath;   ///< also write rows as CSV when non-empty
+
+    /** Defaults from the environment: RTDC_JOBS, RTDC_BENCH_SCALE. */
+    static SweepOptions fromEnv();
+};
+
+/** One registered sweep. */
+struct SweepInfo
+{
+    const char *name;
+    const char *description;
+    ResultSink (*fn)(const SweepOptions &);
+};
+
+/** All registered sweeps (stable order). */
+const std::vector<SweepInfo> &sweeps();
+
+/** Lookup by name; nullptr when unknown. */
+const SweepInfo *findSweep(const std::string &name);
+
+/**
+ * Run a registered sweep: print its tables, then write JSON/CSV per
+ * @p opts. Returns a process exit code (2 = unknown sweep, 1 = output
+ * file error, 0 = success).
+ */
+int runSweep(const std::string &name, const SweepOptions &opts);
+
+} // namespace rtd::harness
+
+#endif // RTDC_HARNESS_SWEEPS_H

@@ -1,0 +1,88 @@
+#include "harness/thread_pool.h"
+
+namespace rtd::harness {
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        inFlight_ -= queue_.size();
+        queue_.clear();
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        bool done;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done = --inFlight_ == 0;
+        }
+        if (done)
+            allDone_.notify_all();
+    }
+}
+
+} // namespace rtd::harness

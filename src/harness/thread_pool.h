@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A small fixed-size worker pool with a shared FIFO task queue.
+ *
+ * Workers pull tasks from one queue (work-sharing; with sweep jobs that
+ * each run for milliseconds to seconds, queue contention is irrelevant
+ * and a per-worker stealing deque would buy nothing). The pool makes no
+ * ordering promises between tasks — sweep determinism comes from jobs
+ * being independent pure functions, not from scheduling (see job.h).
+ */
+
+#ifndef RTDC_HARNESS_THREAD_POOL_H
+#define RTDC_HARNESS_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtd::harness {
+
+/** Fixed worker pool; tasks are void() callables. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means one per hardware thread. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue (discarding unstarted tasks) and joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue a task. Must not be called after wait() has returned. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. Rethrows the first
+     * exception a task raised (remaining tasks still run to completion).
+     */
+    void wait();
+
+    /** Worker count used for threads == 0: max(1, hardware threads). */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    size_t inFlight_ = 0;  ///< queued + currently executing
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+} // namespace rtd::harness
+
+#endif // RTDC_HARNESS_THREAD_POOL_H
