@@ -32,6 +32,7 @@ main()
                 "vs cache-line decompression ===\n");
     double scale = bench::announceScale();
     cpu::CpuConfig machine = core::paperMachine();
+    machine.verifyDecompression = false;  // self-checks stay in tests
     bench::printMachineHeader(machine);
 
     const char *names[] = {"cc1", "go", "ghostscript", "mpeg2enc"};

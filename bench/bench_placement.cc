@@ -30,6 +30,7 @@ main()
                 "placement (paper section 5.3 future work) ===\n");
     double scale = bench::announceScale();
     cpu::CpuConfig machine = core::paperMachine();
+    machine.verifyDecompression = false;  // self-checks stay in tests
     bench::printMachineHeader(machine);
 
     Table table({"benchmark", "config", "miss ratio", "cycles",

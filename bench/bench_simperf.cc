@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Host simulation-speed bench: wall-clock MIPS (millions of simulated
+ * instructions per second of host time) for native, dictionary and
+ * CodePack runs of the cc1 stand-in, with the predecode fast path on
+ * and off. This establishes the perf trajectory the ROADMAP asks for:
+ * future PRs report speedups against the recorded baseline.
+ *
+ * Unlike every other bench, the emitted `BENCH_simperf.json` carries
+ * wall-clock fields by design, so it has its own schema (`"sweep":
+ * "simperf"`, rows with `wall_seconds`/`host_mips`) and is explicitly
+ * *excluded* from the harness's byte-identical-rows determinism
+ * contract. The simulated results themselves stay deterministic: each
+ * scheme's predecode-on run is asserted cycle-identical to its
+ * predecode-off run before any timing is reported.
+ *
+ * `--smoke` (used by the `simperf_smoke` ctest) additionally re-parses
+ * the written JSON and fails unless every row has the expected keys and
+ * a nonzero MIPS figure — never a performance threshold.
+ *
+ * Decompression self-verification (CpuConfig::verifyDecompression) is
+ * off for all timed runs: both fetch paths time the simulator, not the
+ * simulator's self-checks.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "../bench/common.h"
+#include "compress/compressed_image.h"
+#include "core/system.h"
+#include "harness/json.h"
+#include "harness/result_sink.h"
+#include "support/logging.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace rtd;
+using compress::Scheme;
+
+struct TimedRun
+{
+    core::SystemResult result;
+    double wallSeconds = 0.0;
+    double hostMips = 0.0;
+};
+
+/** One timed simulation (construction excluded from the clock). */
+void
+timeOnce(const std::shared_ptr<const core::BuiltImage> &built,
+         const core::SystemConfig &config, bool first, TimedRun &best)
+{
+    core::System system(built, config);
+    auto start = std::chrono::steady_clock::now();
+    core::SystemResult result = system.run();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (first || elapsed.count() < best.wallSeconds) {
+        best.result = std::move(result);
+        best.wallSeconds = elapsed.count();
+    }
+}
+
+void
+finishMips(TimedRun &run)
+{
+    uint64_t insns =
+        run.result.stats.userInsns + run.result.stats.handlerInsns;
+    if (run.wallSeconds > 0.0)
+        run.hostMips = static_cast<double>(insns) / 1e6 / run.wallSeconds;
+}
+
+/**
+ * Time predecode-off and predecode-on runs of the same BuiltImage,
+ * keeping each side's fastest wall time (the standard noise-robust
+ * estimator: interference only ever slows a run down). Repetitions are
+ * interleaved off/on so a sustained slow period on the host hits both
+ * sides rather than biasing the speedup. The simulated results are
+ * identical across reps.
+ */
+std::pair<TimedRun, TimedRun>
+timedPair(const std::shared_ptr<const core::BuiltImage> &built,
+          core::SystemConfig config, int reps)
+{
+    TimedRun off, on;
+    for (int i = 0; i < reps; ++i) {
+        config.cpu.predecode = false;
+        timeOnce(built, config, i == 0, off);
+        config.cpu.predecode = true;
+        timeOnce(built, config, i == 0, on);
+    }
+    finishMips(off);
+    finishMips(on);
+    return {off, on};
+}
+
+/** The simulated-result fields that must not depend on the fetch path. */
+void
+assertParity(const cpu::RunStats &on, const cpu::RunStats &off,
+             const char *scheme)
+{
+    if (on.cycles != off.cycles || on.userInsns != off.userInsns ||
+        on.handlerInsns != off.handlerInsns ||
+        on.icacheMisses != off.icacheMisses ||
+        on.exceptions != off.exceptions ||
+        on.resultValue != off.resultValue) {
+        fatal("%s: predecode on/off runs diverged (cycles %llu vs %llu)",
+              scheme, static_cast<unsigned long long>(on.cycles),
+              static_cast<unsigned long long>(off.cycles));
+    }
+}
+
+/** Validate the smoke-mode JSON schema; returns false with a message. */
+bool
+validateJson(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    harness::Json doc;
+    if (!harness::Json::parse(buf.str(), &doc, &error))
+        return false;
+    const harness::Json *sweep = doc.find("sweep");
+    if (!sweep || sweep->asString() != "simperf") {
+        error = "missing sweep name";
+        return false;
+    }
+    const harness::Json *rows = doc.find("rows");
+    if (!rows || rows->size() == 0) {
+        error = "no rows";
+        return false;
+    }
+    for (size_t i = 0; i < rows->size(); ++i) {
+        const harness::Json &row = rows->at(i);
+        for (const char *key :
+             {"scheme", "predecode", "user_insns", "handler_insns",
+              "wall_seconds", "host_mips"}) {
+            if (!row.find(key)) {
+                error = std::string("row missing key ") + key;
+                return false;
+            }
+        }
+        if (row.get("host_mips").asDouble() <= 0.0) {
+            error = "zero host_mips";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    setInformEnabled(false);
+    std::printf("=== simperf: host simulation speed (MIPS) ===\n");
+    double scale = bench::announceScale();
+    cpu::CpuConfig machine = core::paperMachine();
+    machine.verifyDecompression = false;
+
+    harness::ResultSink sink("simperf");
+    sink.setScale(scale);
+    sink.setMachine(machine);
+    sink.printMachineHeader();
+
+    prog::Program program = bench::generateBenchmark(
+        workload::paperBenchmark("cc1"), scale);
+
+    Table table({"scheme", "predecode", "sim insns", "wall s",
+                 "host MIPS", "speedup"});
+    double dict_speedup = 0.0;
+    for (Scheme scheme :
+         {Scheme::None, Scheme::Dictionary, Scheme::CodePack}) {
+        core::SystemConfig config;
+        config.cpu = machine;
+        config.scheme = scheme;
+        auto built = std::make_shared<const core::BuiltImage>(
+            core::buildImage(program, config));
+
+        const int reps = smoke ? 1 : 7;
+        auto [off, on] = timedPair(built, config, reps);
+        assertParity(on.result.stats, off.result.stats,
+                     compress::schemeName(scheme));
+
+        double speedup = off.hostMips > 0.0 && on.hostMips > 0.0
+                             ? on.hostMips / off.hostMips
+                             : 0.0;
+        if (scheme == Scheme::Dictionary)
+            dict_speedup = speedup;
+        const TimedRun *runs[] = {&off, &on};
+        for (const TimedRun *run : runs) {
+            bool predecode = run == &on;
+            uint64_t insns = run->result.stats.userInsns +
+                             run->result.stats.handlerInsns;
+            table.addRow({
+                compress::schemeName(scheme),
+                predecode ? "on" : "off",
+                fmtCount(insns),
+                fmtDouble(run->wallSeconds, 3),
+                fmtDouble(run->hostMips, 1),
+                predecode ? fmtDouble(speedup, 2) + "x" : "-",
+            });
+
+            harness::Json row = harness::Json::object();
+            row.set("scheme", compress::schemeName(scheme));
+            row.set("predecode", predecode);
+            row.set("user_insns", run->result.stats.userInsns);
+            row.set("handler_insns", run->result.stats.handlerInsns);
+            row.set("cycles", run->result.stats.cycles);
+            row.set("wall_seconds", run->wallSeconds);
+            row.set("host_mips", run->hostMips);
+            if (predecode)
+                row.set("speedup_vs_decode", speedup);
+            sink.addRow(std::move(row));
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nMIPS = simulated (user + handler) instructions per "
+                "second of host wall-clock;\nspeedup = predecode-on MIPS "
+                "/ predecode-off MIPS on the same BuiltImage.\n"
+                "Dictionary speedup: %.2fx\n", dict_speedup);
+
+    const std::string path = "BENCH_simperf.json";
+    if (!sink.writeJson(path))
+        return 1;
+
+    if (smoke) {
+        std::string error;
+        if (!validateJson(path, error)) {
+            std::fprintf(stderr, "simperf smoke: BAD %s: %s\n",
+                         path.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("simperf smoke: %s schema + nonzero MIPS ok\n",
+                    path.c_str());
+    }
+    return 0;
+}

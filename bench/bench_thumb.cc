@@ -50,6 +50,7 @@ main()
                 "model) vs run-time decompression ===\n");
     double scale = bench::announceScale();
     cpu::CpuConfig machine = core::paperMachine();
+    machine.verifyDecompression = false;  // self-checks stay in tests
     bench::printMachineHeader(machine);
 
     std::printf("\n--- full translation vs full compression ---\n");

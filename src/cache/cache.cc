@@ -29,17 +29,6 @@ Cache::Cache(std::string name, CacheConfig config)
     data_.resize(static_cast<size_t>(config_.sizeBytes));
 }
 
-int
-Cache::findWay(uint32_t set, uint32_t tag) const
-{
-    const Line *base = &lines_[static_cast<size_t>(set) * config_.assoc];
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
 unsigned
 Cache::victimWay(uint32_t set) const
 {
@@ -58,24 +47,39 @@ Cache::victimWay(uint32_t set) const
 }
 
 bool
-Cache::access(uint32_t addr)
-{
-    uint32_t set = setIndex(addr);
-    int way = findWay(set, tagOf(addr));
-    if (way >= 0) {
-        ++hits_;
-        lines_[static_cast<size_t>(set) * config_.assoc +
-               static_cast<unsigned>(way)].lastUse = ++useClock_;
-        return true;
-    }
-    ++misses_;
-    return false;
-}
-
-bool
 Cache::probe(uint32_t addr) const
 {
     return findWay(setIndex(addr), tagOf(addr)) >= 0;
+}
+
+void
+Cache::enablePredecode()
+{
+    RTDC_ASSERT((config_.lineBytes & 3) == 0,
+                "%s: predecode needs word-multiple lines", name_.c_str());
+    decoded_.resize(static_cast<size_t>(config_.numSets()) *
+                    config_.assoc * lineWords());
+    memo_ = std::make_unique<isa::PredecodeMemo>();
+}
+
+const isa::DecodedInst &
+Cache::decodedAt(uint32_t addr) const
+{
+    RTDC_ASSERT(predecodeEnabled(), "%s: decodedAt without predecode",
+                name_.c_str());
+    uint32_t set;
+    unsigned way;
+    locate(addr, set, way);
+    return lineDecoded(set, way)[(addr & (config_.lineBytes - 1)) / 4];
+}
+
+void
+Cache::redecodeWord(uint32_t set, unsigned way, uint32_t addr)
+{
+    uint32_t offset = addr & (config_.lineBytes - 1) & ~3u;
+    uint32_t word;
+    std::memcpy(&word, lineData(set, way) + offset, 4);
+    lineDecoded(set, way)[offset / 4] = memo_->lookup(word);
 }
 
 unsigned
@@ -125,6 +129,16 @@ Cache::fillLine(uint32_t addr, const uint8_t *src, uint8_t *writeback_buf)
         RTDC_ASSERT(way == victim, "victim selection changed under fill");
     }
     std::memcpy(lineData(set, way), src, config_.lineBytes);
+    if (predecodeEnabled()) {
+        // Decode once at fill time: every later fetch of this line reads
+        // the decoded mirror instead of re-decoding the word.
+        isa::DecodedInst *dst = lineDecoded(set, way);
+        for (uint32_t w = 0; w < lineWords(); ++w) {
+            uint32_t word;
+            std::memcpy(&word, src + w * 4, 4);
+            dst[w] = memo_->lookup(word);
+        }
+    }
     Line &line = lines_[static_cast<size_t>(set) * config_.assoc + way];
     line.dirty = false;
     line.lastUse = ++useClock_;
@@ -132,23 +146,15 @@ Cache::fillLine(uint32_t addr, const uint8_t *src, uint8_t *writeback_buf)
 }
 
 Eviction
-Cache::swicWrite(uint32_t addr, uint32_t word)
+Cache::swicAllocWrite(uint32_t line_addr, uint32_t addr, uint32_t word)
 {
-    RTDC_ASSERT((addr & 3) == 0, "misaligned swic at 0x%08x", addr);
     Eviction evicted;
-    uint32_t line_addr = lineAddr(addr);
+    unsigned w = allocate(line_addr, evicted);
+    ++swicAllocs_;
     uint32_t set = setIndex(line_addr);
-    int way = findWay(set, tagOf(line_addr));
-    unsigned w;
-    if (way < 0) {
-        w = allocate(line_addr, evicted);
-        ++swicAllocs_;
-    } else {
-        w = static_cast<unsigned>(way);
-        lines_[static_cast<size_t>(set) * config_.assoc + w].lastUse =
-            ++useClock_;
-    }
     std::memcpy(lineData(set, w) + (addr - line_addr), &word, 4);
+    if (predecodeEnabled())
+        lineDecoded(set, w)[(addr - line_addr) / 4] = memo_->lookup(word);
     return evicted;
 }
 
@@ -208,6 +214,8 @@ Cache::write32(uint32_t addr, uint32_t value)
     std::memcpy(lineData(set, way) + (addr & (config_.lineBytes - 1)),
                 &value, 4);
     lines_[static_cast<size_t>(set) * config_.assoc + way].dirty = true;
+    if (predecodeEnabled())
+        redecodeWord(set, way, addr);
 }
 
 void
@@ -221,6 +229,8 @@ Cache::write16(uint32_t addr, uint16_t value)
     std::memcpy(lineData(set, way) + (addr & (config_.lineBytes - 1)),
                 &value, 2);
     lines_[static_cast<size_t>(set) * config_.assoc + way].dirty = true;
+    if (predecodeEnabled())
+        redecodeWord(set, way, addr);
 }
 
 void
@@ -231,6 +241,8 @@ Cache::write8(uint32_t addr, uint8_t value)
     locate(addr, set, way);
     lineData(set, way)[addr & (config_.lineBytes - 1)] = value;
     lines_[static_cast<size_t>(set) * config_.assoc + way].dirty = true;
+    if (predecodeEnabled())
+        redecodeWord(set, way, addr);
 }
 
 void

@@ -17,10 +17,14 @@
 #define RTDC_CACHE_CACHE_H
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "isa/predecode.h"
+#include "support/logging.h"
 #include "support/stats.h"
 
 namespace rtd::cache {
@@ -59,14 +63,163 @@ class Cache
         return addr & ~(config_.lineBytes - 1);
     }
 
+    // The combined access entry points below run once per simulated
+    // instruction or data access (tens of millions of calls per run), so
+    // they live in the header and share one inline tag lookup.
+
     /**
      * Look up @p addr, updating LRU and hit/miss statistics.
      * @return true on hit.
      */
-    bool access(uint32_t addr);
+    bool
+    access(uint32_t addr)
+    {
+        uint32_t set = setIndex(addr);
+        int way = findWay(set, tagOf(addr));
+        if (way < 0) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        touchLru(set, static_cast<unsigned>(way));
+        return true;
+    }
+
+    /**
+     * Combined access() + read32(): one tag lookup services both the
+     * hit/miss decision and the data read (the I-fetch hit path used to
+     * pay findWay() twice). On a miss nothing is read and @p word is
+     * untouched; statistics and LRU update exactly as access() would.
+     * @return true on hit.
+     */
+    bool
+    accessRead(uint32_t addr, uint32_t &word)
+    {
+        RTDC_ASSERT((addr & 3) == 0,
+                    "misaligned cache accessRead at 0x%08x", addr);
+        return accessReadBytes(addr, 4, word);
+    }
+
+    /**
+     * accessRead() for a 1/2/4-byte load (@p bytes): one tag lookup, the
+     * value is zero-extended into @p raw. The D-side load path uses this
+     * the same way the I-side uses accessRead().
+     * @return true on hit.
+     */
+    bool
+    accessReadBytes(uint32_t addr, unsigned bytes, uint32_t &raw)
+    {
+        RTDC_ASSERT((addr & (bytes - 1)) == 0,
+                    "misaligned cache accessReadBytes at 0x%08x", addr);
+        uint32_t set = setIndex(addr);
+        int way = findWay(set, tagOf(addr));
+        if (way < 0) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        unsigned w = static_cast<unsigned>(way);
+        touchLru(set, w);
+        const uint8_t *src =
+            lineData(set, w) + (addr & (config_.lineBytes - 1));
+        switch (bytes) {
+          case 1: raw = *src; break;
+          case 2: {
+            uint16_t half;
+            std::memcpy(&half, src, 2);
+            raw = half;
+            break;
+          }
+          default:
+            std::memcpy(&raw, src, 4);
+            break;
+        }
+        return true;
+    }
+
+    /**
+     * Combined access() + write (1/2/4 @p bytes): one tag lookup services
+     * the hit/miss decision and, on hit, the data write (marking the line
+     * dirty, as write32() would). On a miss nothing is written — the
+     * caller fills the line and retries through the plain write path.
+     * @return true on hit.
+     */
+    bool
+    accessWrite(uint32_t addr, uint32_t value, unsigned bytes)
+    {
+        RTDC_ASSERT((addr & (bytes - 1)) == 0,
+                    "misaligned cache accessWrite at 0x%08x", addr);
+        uint32_t set = setIndex(addr);
+        int way = findWay(set, tagOf(addr));
+        if (way < 0) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        unsigned w = static_cast<unsigned>(way);
+        Line &line = lines_[static_cast<size_t>(set) * config_.assoc + w];
+        line.lastUse = ++useClock_;
+        line.dirty = true;
+        uint8_t *dst = lineData(set, w) + (addr & (config_.lineBytes - 1));
+        switch (bytes) {
+          case 1: *dst = static_cast<uint8_t>(value); break;
+          case 2: {
+            uint16_t half = static_cast<uint16_t>(value);
+            std::memcpy(dst, &half, 2);
+            break;
+          }
+          default:
+            std::memcpy(dst, &value, 4);
+            break;
+        }
+        if (predecodeEnabled())
+            redecodeWord(set, w, addr);
+        return true;
+    }
+
+    /**
+     * Combined access() + decoded-entry fetch for the predecode fast
+     * path (enablePredecode() must have been called): one tag lookup
+     * returns the line's cached DecodedInst for @p addr on hit, nullptr
+     * on miss. Statistics and LRU update exactly as access() would. The
+     * pointer is invalidated by any subsequent fill/swic/write to the
+     * cache.
+     */
+    const isa::DecodedInst *
+    accessFetch(uint32_t addr)
+    {
+        RTDC_ASSERT((addr & 3) == 0,
+                    "misaligned cache accessFetch at 0x%08x", addr);
+        uint32_t set = setIndex(addr);
+        int way = findWay(set, tagOf(addr));
+        if (way < 0) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        unsigned w = static_cast<unsigned>(way);
+        touchLru(set, w);
+        return lineDecoded(set, w) + (addr & (config_.lineBytes - 1)) / 4;
+    }
 
     /** Probe without statistics or LRU update. */
     bool probe(uint32_t addr) const;
+
+    /**
+     * Allocate the decoded-instruction store: every word installed by
+     * fillLine()/swicWrite()/write32() is additionally predecoded, so
+     * decodedAt() always mirrors the line's data bytes. Call once,
+     * before any line is installed (the I-cache's decode-once path).
+     */
+    void enablePredecode();
+
+    bool predecodeEnabled() const { return !decoded_.empty(); }
+
+    /**
+     * Decoded instruction at @p addr (line must be present; no
+     * statistics or LRU update). Only valid with predecode enabled.
+     */
+    const isa::DecodedInst &decodedAt(uint32_t addr) const;
 
     /**
      * Install the line containing @p addr from @p src (lineBytes bytes,
@@ -86,9 +239,31 @@ class Cache
      * present, a victim way is allocated first (its other words are left
      * as-is until subsequent swic stores fill them — the decompressor
      * always writes the full line).
+     *
+     * Runs once per decompressed word; the common case (the line was
+     * allocated by the first swic of its group) stays inline.
      * @return eviction info when an allocation displaced a valid line.
      */
-    Eviction swicWrite(uint32_t addr, uint32_t word);
+    Eviction
+    swicWrite(uint32_t addr, uint32_t word)
+    {
+        RTDC_ASSERT((addr & 3) == 0, "misaligned swic at 0x%08x", addr);
+        uint32_t line_addr = lineAddr(addr);
+        uint32_t set = setIndex(line_addr);
+        int way = findWay(set, tagOf(line_addr));
+        if (way < 0)
+            return swicAllocWrite(line_addr, addr, word);
+        unsigned w = static_cast<unsigned>(way);
+        touchLru(set, w);
+        std::memcpy(lineData(set, w) + (addr - line_addr), &word, 4);
+        if (predecodeEnabled()) {
+            // A swic overwrite of a cached word must invalidate its
+            // decoded entry; decoding the new word does both at once.
+            lineDecoded(set, w)[(addr - line_addr) / 4] =
+                memo_->lookup(word);
+        }
+        return Eviction{};
+    }
 
     /// @name Data access (line must be present)
     /// @{
@@ -146,11 +321,31 @@ class Cache
     };
 
     /** way index within the set, or -1 on miss. */
-    int findWay(uint32_t set, uint32_t tag) const;
+    int
+    findWay(uint32_t set, uint32_t tag) const
+    {
+        const Line *base = &lines_[static_cast<size_t>(set) *
+                                   config_.assoc];
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            if (base[w].valid && base[w].tag == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+    /** Make (set, way) most recently used. */
+    void
+    touchLru(uint32_t set, unsigned way)
+    {
+        lines_[static_cast<size_t>(set) * config_.assoc + way].lastUse =
+            ++useClock_;
+    }
     /** LRU way of a set (an invalid way wins immediately). */
     unsigned victimWay(uint32_t set) const;
     /** Allocate a line for @p line_addr, returning its way. */
     unsigned allocate(uint32_t line_addr, Eviction &evicted);
+    /** swicWrite() slow path: allocate the line, then write @p word. */
+    Eviction swicAllocWrite(uint32_t line_addr, uint32_t addr,
+                            uint32_t word);
 
     uint32_t setIndex(uint32_t addr) const
     {
@@ -175,10 +370,31 @@ class Cache
     /** Locate present line for addr; panics when absent. */
     void locate(uint32_t addr, uint32_t &set, unsigned &way) const;
 
+    /** Words per line (predecode store stride). */
+    uint32_t lineWords() const { return config_.lineBytes / 4; }
+    isa::DecodedInst *lineDecoded(uint32_t set, unsigned way)
+    {
+        return decoded_.data() +
+               (static_cast<size_t>(set) * config_.assoc + way) *
+                   lineWords();
+    }
+    const isa::DecodedInst *lineDecoded(uint32_t set, unsigned way) const
+    {
+        return decoded_.data() +
+               (static_cast<size_t>(set) * config_.assoc + way) *
+                   lineWords();
+    }
+    /** Re-predecode the word containing @p addr in (set, way). */
+    void redecodeWord(uint32_t set, unsigned way, uint32_t addr);
+
     std::string name_;
     CacheConfig config_;
     std::vector<Line> lines_;   ///< numSets * assoc
     std::vector<uint8_t> data_; ///< backing storage
+    /** Decoded mirror of data_, one entry per word; empty = disabled. */
+    std::vector<isa::DecodedInst> decoded_;
+    /** Word-value memo feeding decoded_ (decompressed words repeat). */
+    std::unique_ptr<isa::PredecodeMemo> memo_;
     uint64_t useClock_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;

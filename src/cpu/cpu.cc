@@ -46,6 +46,8 @@ Cpu::Cpu(const CpuConfig &config, mem::MainMemory &memory,
     lineBuf_.resize(std::max(config.icache.lineBytes,
                              config.dcache.lineBytes));
     wbBuf_.resize(lineBuf_.size());
+    if (config_.predecode)
+        icache_.enablePredecode();
 }
 
 void
@@ -158,6 +160,11 @@ Cpu::ensureProcResident(uint32_t pc)
     procCurHi_ = procCurLo_ + image_.procs[proc].size;
 }
 
+// Zero block for clearing evicted procedures' backing bytes, hoisted to
+// file scope so procFault never re-runs a local-static guard per call.
+constexpr uint32_t kZeroChunkBytes = 4096;
+const uint8_t kZeros[kZeroChunkBytes] = {};
+
 void
 Cpu::procFault(uint32_t addr, int32_t proc)
 {
@@ -175,11 +182,10 @@ Cpu::procFault(uint32_t addr, int32_t proc)
             procImage_->entries[static_cast<size_t>(victim)];
         // The decompressed copy is gone: clear its backing bytes (so a
         // stale fetch fails loudly) and invalidate its I-cache lines.
-        static const std::vector<uint8_t> zeros(4096, 0);
         for (uint32_t off = 0; off < ve.origBytes;) {
-            uint32_t chunk = std::min<uint32_t>(
-                static_cast<uint32_t>(zeros.size()), ve.origBytes - off);
-            memory_.writeBlock(ve.vaBase + off, zeros.data(), chunk);
+            uint32_t chunk =
+                std::min(kZeroChunkBytes, ve.origBytes - off);
+            memory_.writeBlock(ve.vaBase + off, kZeros, chunk);
             off += chunk;
         }
         icache_.invalidateRange(ve.vaBase, ve.origBytes);
@@ -214,51 +220,88 @@ Cpu::procFault(uint32_t addr, int32_t proc)
     icache_.invalidateRange(entry.vaBase, entry.origBytes);
     stats_.cycles += config_.exceptionReturnPenalty;
 
-    // Verify the decompressed procedure against the linked image.
-    for (uint32_t off = 0; off < entry.origBytes; off += 4) {
-        uint32_t got = memory_.read32(entry.vaBase + off);
-        uint32_t expect = image_.textWordAt(entry.vaBase + off);
-        if (got != expect) {
-            panic("lzrw1 runtime produced wrong word at 0x%08x: "
-                  "0x%08x != 0x%08x", entry.vaBase + off, got, expect);
+    // Verify the decompressed procedure against the linked image. This
+    // is O(procedure bytes) of simulator self-checking on every fault,
+    // so wall-clock benches switch it off (no effect on RunStats).
+    if (config_.verifyDecompression) {
+        for (uint32_t off = 0; off < entry.origBytes; off += 4) {
+            uint32_t got = memory_.read32(entry.vaBase + off);
+            uint32_t expect = image_.textWordAt(entry.vaBase + off);
+            if (got != expect) {
+                panic("lzrw1 runtime produced wrong word at 0x%08x: "
+                      "0x%08x != 0x%08x", entry.vaBase + off, got,
+                      expect);
+            }
         }
     }
 }
 
-uint32_t
+void
+Cpu::serviceUserMiss()
+{
+    ++stats_.icacheMisses;
+    if (profiling_ && curProc_ >= 0)
+        ++procMisses_[curProc_];
+    if (decompressorAttached_ && pc_ >= compressedLo_ &&
+        pc_ < compressedHi_) {
+        // Software-managed miss: flush the pipeline (swic requires a
+        // non-speculative state) and run the decompressor.
+        ++stats_.compressedMisses;
+        ++stats_.exceptions;
+        stats_.cycles += config_.exceptionEntryPenalty;
+        runHandler(pc_);
+        stats_.cycles += config_.exceptionReturnPenalty;
+        RTDC_ASSERT(icache_.probe(pc_),
+                    "decompressor did not fill the missed line "
+                    "0x%08x", pc_);
+    } else {
+        // Hardware fill from main memory.
+        ++stats_.nativeMisses;
+        uint32_t line = icache_.lineAddr(pc_);
+        stats_.cycles +=
+            memory_.timing().burstCycles(config_.icache.lineBytes);
+        memory_.readBlock(line, lineBuf_.data(),
+                          config_.icache.lineBytes);
+        icache_.fillLine(line, lineBuf_.data());
+    }
+}
+
+const isa::DecodedInst &
 Cpu::fetchUser()
 {
     if (procMgr_)
         ensureProcResident(pc_);
     ++stats_.icacheAccesses;
-    if (!icache_.access(pc_)) {
-        ++stats_.icacheMisses;
-        if (profiling_ && curProc_ >= 0)
-            ++procMisses_[curProc_];
-        if (decompressorAttached_ && pc_ >= compressedLo_ &&
-            pc_ < compressedHi_) {
-            // Software-managed miss: flush the pipeline (swic requires a
-            // non-speculative state) and run the decompressor.
-            ++stats_.compressedMisses;
-            ++stats_.exceptions;
-            stats_.cycles += config_.exceptionEntryPenalty;
-            runHandler(pc_);
-            stats_.cycles += config_.exceptionReturnPenalty;
-            RTDC_ASSERT(icache_.probe(pc_),
-                        "decompressor did not fill the missed line "
-                        "0x%08x", pc_);
-        } else {
-            // Hardware fill from main memory.
-            ++stats_.nativeMisses;
-            uint32_t line = icache_.lineAddr(pc_);
-            stats_.cycles +=
-                memory_.timing().burstCycles(config_.icache.lineBytes);
-            memory_.readBlock(line, lineBuf_.data(),
-                              config_.icache.lineBytes);
-            icache_.fillLine(line, lineBuf_.data());
+    if (config_.predecode) {
+        // Fast path: one tag lookup returns the line's decoded entry;
+        // re-decode cost is paid only at fill/swic time.
+        if (const isa::DecodedInst *d = icache_.accessFetch(pc_))
+            return *d;
+        serviceUserMiss();
+        return icache_.decodedAt(pc_);
+    }
+    uint32_t word;
+    if (!icache_.accessRead(pc_, word)) {
+        serviceUserMiss();
+        word = icache_.read32(pc_);
+    }
+    fetchScratch_ = isa::predecode(word);
+    return fetchScratch_;
+}
+
+void
+Cpu::accountInterlock(const isa::DecodedInst &d)
+{
+    if (lastLoadDest_ != 0) {
+        for (unsigned i = 0; i < d.nsrc; ++i) {
+            if (d.srcs[i] == lastLoadDest_) {
+                ++stats_.cycles;
+                ++stats_.loadUseStalls;
+                break;
+            }
         }
     }
-    return icache_.read32(pc_);
+    lastLoadDest_ = d.isLoad ? d.dest : 0;
 }
 
 void
@@ -268,35 +311,22 @@ Cpu::step()
     // attributed to the procedure being entered, not the one left.
     if (profiling_)
         noteUserPc(pc_);
-    uint32_t word = fetchUser();
-    Instruction inst = isa::decode(word);
-    if (!inst.valid()) {
-        fatal("invalid instruction 0x%08x at pc 0x%08x", word, pc_);
+    const isa::DecodedInst &d = fetchUser();
+    if (!d.inst.valid()) {
+        fatal("invalid instruction 0x%08x at pc 0x%08x", d.word, pc_);
     }
 
-    // Load-use interlock.
-    uint8_t srcs[2];
-    unsigned nsrc = isa::srcRegs(inst, srcs);
-    if (lastLoadDest_ != 0) {
-        for (unsigned i = 0; i < nsrc; ++i) {
-            if (srcs[i] == lastLoadDest_) {
-                ++stats_.cycles;
-                ++stats_.loadUseStalls;
-                break;
-            }
-        }
-    }
-    lastLoadDest_ = isa::isLoad(inst.op) ? isa::destReg(inst) : 0;
+    accountInterlock(d);
 
     ++stats_.cycles;
     ++stats_.userInsns;
     if (config_.traceInsns &&
         stats_.userInsns + stats_.handlerInsns <= config_.traceInsns) {
         std::fprintf(stderr, "U %08x: %s\n", pc_,
-                     isa::disassemble(inst, pc_).c_str());
+                     isa::disassemble(d.inst, pc_).c_str());
     }
 
-    pc_ = execute(inst, pc_, regs_.data(), false);
+    pc_ = execute(d, pc_, regs_.data(), false);
 }
 
 void
@@ -311,26 +341,20 @@ Cpu::runHandler(uint32_t addr)
     // The shadow file shares sp with the user file so that a non-RF
     // handler can spill to the user stack; the RF handlers never use sp.
     uint32_t hpc = handlerRam_.entry();
+    const bool predecode = config_.predecode;
     // Interlock state does not carry across the pipeline flush.
     lastLoadDest_ = 0;
     while (true) {
-        uint32_t word = handlerRam_.fetch(hpc);
-        Instruction inst = isa::decode(word);
-        RTDC_ASSERT(inst.valid(), "invalid handler instruction at 0x%08x",
-                    hpc);
+        // The handler RAM is immutable after load, so the predecoded
+        // path touches no decoder at all in this loop.
+        const isa::DecodedInst &d =
+            predecode ? handlerRam_.fetchDecoded(hpc)
+                      : (fetchScratch_ =
+                             isa::predecode(handlerRam_.fetch(hpc)));
+        RTDC_ASSERT(d.inst.valid(),
+                    "invalid handler instruction at 0x%08x", hpc);
 
-        uint8_t srcs[2];
-        unsigned nsrc = isa::srcRegs(inst, srcs);
-        if (lastLoadDest_ != 0) {
-            for (unsigned i = 0; i < nsrc; ++i) {
-                if (srcs[i] == lastLoadDest_) {
-                    ++stats_.cycles;
-                    ++stats_.loadUseStalls;
-                    break;
-                }
-            }
-        }
-        lastLoadDest_ = isa::isLoad(inst.op) ? isa::destReg(inst) : 0;
+        accountInterlock(d);
 
         ++stats_.cycles;
         ++stats_.handlerInsns;
@@ -338,12 +362,12 @@ Cpu::runHandler(uint32_t addr)
             stats_.userInsns + stats_.handlerInsns <=
                 config_.traceInsns) {
             std::fprintf(stderr, "H %08x: %s\n", hpc,
-                         isa::disassemble(inst, hpc).c_str());
+                         isa::disassemble(d.inst, hpc).c_str());
         }
 
-        if (inst.op == Op::Iret)
+        if (d.inst.op == Op::Iret)
             break;
-        hpc = execute(inst, hpc, regs, true);
+        hpc = execute(d, hpc, regs, true);
     }
     lastLoadDest_ = 0;
     // Resume at the missed instruction (c0[Epc]).
@@ -351,9 +375,9 @@ Cpu::runHandler(uint32_t addr)
 }
 
 void
-Cpu::accountControl(const Instruction &inst, uint32_t pc, bool taken)
+Cpu::accountControl(const isa::DecodedInst &d, uint32_t pc, bool taken)
 {
-    if (isa::isCondBranch(inst.op)) {
+    if (d.isCondBranch) {
         bool correct = predictor_.update(pc, taken);
         if (!correct)
             stats_.cycles += config_.mispredictPenalty;
@@ -362,6 +386,25 @@ Cpu::accountControl(const Instruction &inst, uint32_t pc, bool taken)
     } else {
         // Unconditional transfers redirect fetch at decode.
         stats_.cycles += config_.redirectPenalty;
+    }
+}
+
+void
+Cpu::dataMissFill(uint32_t addr)
+{
+    ++stats_.dcacheMisses;
+    uint32_t line = dcache_.lineAddr(addr);
+    stats_.cycles +=
+        memory_.timing().burstCycles(config_.dcache.lineBytes);
+    memory_.readBlock(line, lineBuf_.data(), config_.dcache.lineBytes);
+    cache::Eviction ev =
+        dcache_.fillLine(line, lineBuf_.data(), wbBuf_.data());
+    if (ev.valid && ev.dirty) {
+        ++stats_.writebacks;
+        stats_.cycles +=
+            memory_.timing().burstCycles(config_.dcache.lineBytes);
+        memory_.writeBlock(ev.addr, wbBuf_.data(),
+                           config_.dcache.lineBytes);
     }
 }
 
@@ -379,39 +422,32 @@ Cpu::dataAccess(uint32_t addr, bool is_store, bool handler)
     ++stats_.dcacheAccesses;
     if (dcache_.access(addr))
         return;
-    ++stats_.dcacheMisses;
-    uint32_t line = dcache_.lineAddr(addr);
-    stats_.cycles +=
-        memory_.timing().burstCycles(config_.dcache.lineBytes);
-    memory_.readBlock(line, lineBuf_.data(), config_.dcache.lineBytes);
-    cache::Eviction ev =
-        dcache_.fillLine(line, lineBuf_.data(), wbBuf_.data());
-    if (ev.valid && ev.dirty) {
-        ++stats_.writebacks;
-        stats_.cycles +=
-            memory_.timing().burstCycles(config_.dcache.lineBytes);
-        memory_.writeBlock(ev.addr, wbBuf_.data(),
-                           config_.dcache.lineBytes);
-    }
+    dataMissFill(addr);
 }
 
 uint32_t
 Cpu::loadData(uint32_t addr, unsigned bytes, bool sign_extend, bool handler)
 {
-    dataAccess(addr, false, handler);
-    bool cached = !(handler && config_.handlerDataUncached);
     uint32_t raw;
-    if (cached) {
-        switch (bytes) {
-          case 1: raw = dcache_.read8(addr); break;
-          case 2: raw = dcache_.read16(addr); break;
-          default: raw = dcache_.read32(addr); break;
-        }
-    } else {
+    if (handler && config_.handlerDataUncached) {
+        dataAccess(addr, false, handler);
         switch (bytes) {
           case 1: raw = memory_.read8(addr); break;
           case 2: raw = memory_.read16(addr); break;
           default: raw = memory_.read32(addr); break;
+        }
+    } else {
+        // Hot path: one combined tag lookup covers the hit/miss decision
+        // and the data read, where dataAccess() + readN() paid findWay()
+        // twice. Statistics and LRU update are identical.
+        ++stats_.dcacheAccesses;
+        if (!dcache_.accessReadBytes(addr, bytes, raw)) {
+            dataMissFill(addr);
+            switch (bytes) {
+              case 1: raw = dcache_.read8(addr); break;
+              case 2: raw = dcache_.read16(addr); break;
+              default: raw = dcache_.read32(addr); break;
+            }
         }
     }
     if (sign_extend && bytes < 4)
@@ -422,21 +458,8 @@ Cpu::loadData(uint32_t addr, unsigned bytes, bool sign_extend, bool handler)
 void
 Cpu::storeData(uint32_t addr, uint32_t value, unsigned bytes, bool handler)
 {
-    dataAccess(addr, true, handler);
-    bool cached = !(handler && config_.handlerDataUncached);
-    if (cached) {
-        switch (bytes) {
-          case 1:
-            dcache_.write8(addr, static_cast<uint8_t>(value));
-            break;
-          case 2:
-            dcache_.write16(addr, static_cast<uint16_t>(value));
-            break;
-          default:
-            dcache_.write32(addr, value);
-            break;
-        }
-    } else {
+    if (handler && config_.handlerDataUncached) {
+        dataAccess(addr, true, handler);
         switch (bytes) {
           case 1: memory_.write8(addr, static_cast<uint8_t>(value)); break;
           case 2:
@@ -444,6 +467,23 @@ Cpu::storeData(uint32_t addr, uint32_t value, unsigned bytes, bool handler)
             break;
           default: memory_.write32(addr, value); break;
         }
+        return;
+    }
+    // Same combined-lookup structure as loadData's hot path.
+    ++stats_.dcacheAccesses;
+    if (dcache_.accessWrite(addr, value, bytes))
+        return;
+    dataMissFill(addr);
+    switch (bytes) {
+      case 1:
+        dcache_.write8(addr, static_cast<uint8_t>(value));
+        break;
+      case 2:
+        dcache_.write16(addr, static_cast<uint16_t>(value));
+        break;
+      default:
+        dcache_.write32(addr, value);
+        break;
     }
 }
 
@@ -468,9 +508,10 @@ Cpu::verifySwic(uint32_t addr, uint32_t word) const
 }
 
 uint32_t
-Cpu::execute(const Instruction &inst, uint32_t pc, uint32_t *regs,
+Cpu::execute(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
              bool handler)
 {
+    const Instruction &inst = d.inst;
     auto rs = [&] { return readReg(regs, inst.rs); };
     auto rt = [&] { return readReg(regs, inst.rt); };
     auto wr_rd = [&](uint32_t v) { writeReg(regs, inst.rd, v); };
@@ -480,7 +521,7 @@ Cpu::execute(const Instruction &inst, uint32_t pc, uint32_t *regs,
     uint32_t next = pc + 4;
 
     auto branch = [&](bool taken) {
-        accountControl(inst, pc, taken);
+        accountControl(d, pc, taken);
         if (taken)
             next = pc + 4 + (static_cast<uint32_t>(simm) << 2);
     };
@@ -556,20 +597,20 @@ Cpu::execute(const Instruction &inst, uint32_t pc, uint32_t *regs,
       case Op::Lui: wr_rt(uimm << 16); break;
 
       case Op::J:
-        accountControl(inst, pc, true);
+        accountControl(d, pc, true);
         next = (pc & 0xf0000000u) | (inst.target << 2);
         break;
       case Op::Jal:
-        accountControl(inst, pc, true);
+        accountControl(d, pc, true);
         writeReg(regs, isa::Ra, pc + 4);
         next = (pc & 0xf0000000u) | (inst.target << 2);
         break;
       case Op::Jr:
-        accountControl(inst, pc, true);
+        accountControl(d, pc, true);
         next = rs();
         break;
       case Op::Jalr:
-        accountControl(inst, pc, true);
+        accountControl(d, pc, true);
         wr_rd(pc + 4);
         next = rs();
         break;
@@ -616,7 +657,7 @@ Cpu::execute(const Instruction &inst, uint32_t pc, uint32_t *regs,
 
       case Op::Swic: {
         uint32_t addr = rs() + static_cast<uint32_t>(simm);
-        if (handler)
+        if (handler && config_.verifyDecompression)
             verifySwic(addr, rt());
         icache_.swicWrite(addr, rt());
         break;

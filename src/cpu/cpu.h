@@ -34,6 +34,7 @@
 #include "compress/compressed_image.h"
 #include "cpu/predictor.h"
 #include "isa/isa.h"
+#include "isa/predecode.h"
 #include "mem/handler_ram.h"
 #include "mem/main_memory.h"
 #include "proccache/manager.h"
@@ -56,6 +57,21 @@ struct CpuConfig
     unsigned exceptionReturnPenalty = 3;///< refill after iret
     bool secondRegFile = false;         ///< handler uses shadow registers
     bool handlerDataUncached = false;   ///< ablation: bypass D-cache
+    /**
+     * Decode-once fast path: predecode I-cache lines at fill/swic time
+     * and the handler RAM at load time, so the hot loops never touch the
+     * decoder. Pure host-side memoization — RunStats are identical
+     * either way (tests/cpu/test_predecode.cc asserts it); the escape
+     * hatch exists for that parity check and as the perf baseline.
+     */
+    bool predecode = true;
+    /**
+     * Verify every decompressed word against the linked ground truth
+     * (each handler swic, plus a whole-procedure sweep after each
+     * procedure-cache fault). Simulator self-checking with no effect on
+     * RunStats; on by default, switched off by wall-clock benches.
+     */
+    bool verifyDecompression = true;
     mem::MemoryTiming memTiming{};
     uint64_t maxUserInsns = 0;          ///< safety stop; 0 = unlimited
     /** Print a disassembled trace of the first @p traceInsns
@@ -177,8 +193,15 @@ class Cpu
   private:
     /** Execute one user instruction (fetch, decode, execute, retire). */
     void step();
-    /** Fetch the instruction word at pc_, servicing any miss. */
-    uint32_t fetchUser();
+    /**
+     * Fetch the (pre)decoded instruction at pc_, servicing any miss.
+     * The reference points into the I-cache's decoded store (predecode
+     * on) or a scratch slot (predecode off) and is valid until the next
+     * fetch or I-cache install.
+     */
+    const isa::DecodedInst &fetchUser();
+    /** Service a user I-miss at pc_ (decompressor or hardware fill). */
+    void serviceUserMiss();
     /** Run the decompression exception handler for a miss at @p addr. */
     void runHandler(uint32_t addr);
     /**
@@ -190,24 +213,28 @@ class Cpu
     void procFault(uint32_t addr, int32_t proc);
     /**
      * Execute one instruction on register file @p regs.
-     * @param inst     decoded instruction
+     * @param d        predecoded instruction
      * @param pc       its address
      * @param regs     active register file
      * @param handler  true when executing decompressor code
      * @return the next PC
      */
-    uint32_t execute(const isa::Instruction &inst, uint32_t pc,
+    uint32_t execute(const isa::DecodedInst &d, uint32_t pc,
                      uint32_t *regs, bool handler);
     /** Timing + data for one D-cache access of @p bytes at @p addr. */
     void dataAccess(uint32_t addr, bool is_store, bool handler);
+    /** D-cache miss service: fill from memory, write back a dirty victim. */
+    void dataMissFill(uint32_t addr);
     /** Memory read/write helpers routed through the D-cache. */
     uint32_t loadData(uint32_t addr, unsigned bytes, bool sign_extend,
                       bool handler);
     void storeData(uint32_t addr, uint32_t value, unsigned bytes,
                    bool handler);
     /** Apply control-flow timing for a resolved branch/jump. */
-    void accountControl(const isa::Instruction &inst, uint32_t pc,
+    void accountControl(const isa::DecodedInst &d, uint32_t pc,
                         bool taken);
+    /** Load-use interlock accounting + producer tracking for @p d. */
+    void accountInterlock(const isa::DecodedInst &d);
     /** Verify a handler swic against the linked ground truth. */
     void verifySwic(uint32_t addr, uint32_t word) const;
     /** Track current procedure for profiling. */
@@ -266,6 +293,8 @@ class Cpu
     RunStats stats_;
     std::vector<uint8_t> lineBuf_;  ///< scratch for fills/writebacks
     std::vector<uint8_t> wbBuf_;
+    /** Per-fetch decode slot for the predecode-off path. */
+    isa::DecodedInst fetchScratch_;
 };
 
 } // namespace rtd::cpu

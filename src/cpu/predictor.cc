@@ -33,33 +33,6 @@ BimodalPredictor::predict(uint32_t pc) const
     return table_[index(pc)] >= 2;
 }
 
-bool
-BimodalPredictor::update(uint32_t pc, bool taken)
-{
-    ++lookups_;
-    if (kind_ == PredictorKind::StaticNotTaken) {
-        if (taken)
-            ++mispredicts_;
-        return !taken;
-    }
-    uint8_t &counter = table_[index(pc)];
-    bool correct = (counter >= 2) == taken;
-    if (taken) {
-        if (counter < 3)
-            ++counter;
-    } else {
-        if (counter > 0)
-            --counter;
-    }
-    if (kind_ == PredictorKind::Gshare) {
-        history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
-                   ((1u << historyBits_) - 1u);
-    }
-    if (!correct)
-        ++mispredicts_;
-    return correct;
-}
-
 double
 BimodalPredictor::mispredictRatio() const
 {

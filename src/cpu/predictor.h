@@ -36,10 +36,36 @@ class BimodalPredictor
     bool predict(uint32_t pc) const;
 
     /**
-     * Update with the resolved direction.
+     * Update with the resolved direction. Runs once per simulated
+     * conditional branch, so it stays in the header.
      * @return true when the prediction was correct.
      */
-    bool update(uint32_t pc, bool taken);
+    bool
+    update(uint32_t pc, bool taken)
+    {
+        ++lookups_;
+        if (kind_ == PredictorKind::StaticNotTaken) {
+            if (taken)
+                ++mispredicts_;
+            return !taken;
+        }
+        uint8_t &counter = table_[index(pc)];
+        bool correct = (counter >= 2) == taken;
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+        if (kind_ == PredictorKind::Gshare) {
+            history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
+                       ((1u << historyBits_) - 1u);
+        }
+        if (!correct)
+            ++mispredicts_;
+        return correct;
+    }
 
     PredictorKind kind() const { return kind_; }
     uint64_t lookups() const { return lookups_; }

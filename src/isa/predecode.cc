@@ -1,0 +1,30 @@
+#include "isa/predecode.h"
+
+#include "isa/decode.h"
+
+namespace rtd::isa {
+
+DecodedInst
+predecode(uint32_t word)
+{
+    DecodedInst d;
+    d.word = word;
+    d.inst = decode(word);
+    if (!d.inst.valid())
+        return d;
+    d.nsrc = static_cast<uint8_t>(srcRegs(d.inst, d.srcs));
+    d.dest = destReg(d.inst);
+    d.isLoad = isLoad(d.inst.op);
+    d.isCondBranch = isCondBranch(d.inst.op);
+    return d;
+}
+
+PredecodeMemo::PredecodeMemo()
+{
+    // Seed every slot with predecode(0) so a lookup of word 0 (a nop,
+    // and the only word whose tag matches a default entry) is correct
+    // from the start; any other word misses its slot's tag and decodes.
+    entries_.assign(1u << kEntriesLog2, Entry{predecode(0)});
+}
+
+} // namespace rtd::isa

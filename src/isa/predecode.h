@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The predecode layer: a decoded instruction bundled with every derived
+ * property the pipeline model consults per executed instruction.
+ *
+ * The hot loops (`Cpu::step()`, `Cpu::runHandler()`) used to call
+ * `decode()` plus `srcRegs()`/`isLoad()`/`destReg()` for every simulated
+ * instruction even though instruction words repeat heavily (I-cache line
+ * contents change only on fill/swic; handler RAM is immutable after
+ * load). A DecodedInst is produced *once* — at I-line fill/swic time and
+ * at handler load time — and re-executed from the cache, making host
+ * simulation speed independent of re-decode cost. Simulated results are
+ * byte-identical either way: predecoding is pure host-side memoization.
+ */
+
+#ifndef RTDC_ISA_PREDECODE_H
+#define RTDC_ISA_PREDECODE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace rtd::isa {
+
+/**
+ * A decoded instruction plus the precomputed per-instruction properties
+ * the pipeline model needs: interlock sources, load destination, and the
+ * conditional-branch flag for control-flow accounting.
+ */
+struct DecodedInst
+{
+    Instruction inst;
+    uint32_t word = 0;         ///< the encoded instruction word
+    uint8_t srcs[2] = {0, 0};  ///< source registers (first nsrc valid)
+    uint8_t nsrc = 0;          ///< number of source registers (0..2)
+    uint8_t dest = 0;          ///< destination register (0 when none)
+    bool isLoad = false;       ///< op is a load (interlock producer)
+    bool isCondBranch = false; ///< op is a conditional branch (predictor)
+};
+
+/**
+ * Decode @p word and precompute its pipeline properties. For undefined
+ * encodings inst.op is Op::Invalid and the properties stay zeroed, just
+ * as if each had been queried on the Invalid instruction.
+ */
+DecodedInst predecode(uint32_t word);
+
+/**
+ * Direct-mapped word -> DecodedInst memo for the predecode producers.
+ *
+ * Decompression handlers re-materialize the same words over and over —
+ * dictionary output is drawn from a 256-entry table, CodePack output is
+ * the original text — so the words arriving at I-line fill/swic time
+ * repeat heavily. Memoizing by word value makes the second and later
+ * predecodes of a word a tag compare plus a struct copy. Lookup results
+ * are identical to predecode() by construction, so this is invisible to
+ * simulated state.
+ */
+class PredecodeMemo
+{
+  public:
+    PredecodeMemo();
+
+    const DecodedInst &
+    lookup(uint32_t word)
+    {
+        Entry &e = entries_[(word * 0x9e3779b1u) >> shift_];
+        if (e.d.word != word)
+            e.d = predecode(word);
+        return e.d;
+    }
+
+  private:
+    struct Entry
+    {
+        DecodedInst d;
+    };
+
+    static constexpr unsigned kEntriesLog2 = 14;
+    static constexpr unsigned shift_ = 32 - kEntriesLog2;
+    std::vector<Entry> entries_;
+};
+
+} // namespace rtd::isa
+
+#endif // RTDC_ISA_PREDECODE_H

@@ -8,20 +8,15 @@ void
 HandlerRam::load(const std::vector<uint32_t> &code)
 {
     code_ = code;
+    decoded_.resize(code_.size());
+    for (size_t i = 0; i < code_.size(); ++i)
+        decoded_[i] = isa::predecode(code_[i]);
 }
 
 bool
 HandlerRam::contains(uint32_t addr) const
 {
     return addr >= base && addr < base + sizeBytes();
-}
-
-uint32_t
-HandlerRam::fetch(uint32_t addr) const
-{
-    RTDC_ASSERT(contains(addr), "handler fetch outside RAM: 0x%08x", addr);
-    RTDC_ASSERT((addr & 3) == 0, "misaligned handler fetch: 0x%08x", addr);
-    return code_[(addr - base) / 4];
 }
 
 } // namespace rtd::mem

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "isa/predecode.h"
+#include "support/logging.h"
 #include "support/stats.h"
 
 namespace rtd::mem {
@@ -27,14 +29,40 @@ class HandlerRam
 
     HandlerRam() = default;
 
-    /** Load the handler program (replaces any previous contents). */
+    /**
+     * Load the handler program (replaces any previous contents). The
+     * whole handler is predecoded here, once: the RAM is immutable
+     * until the next load(), so fetchDecoded() never touches a decoder.
+     */
     void load(const std::vector<uint32_t> &code);
 
     /** True when @p addr falls inside the loaded handler. */
     bool contains(uint32_t addr) const;
 
+    // fetch()/fetchDecoded() run once per simulated handler instruction
+    // (tens of millions of calls per run), so both stay in the header.
+
     /** Fetch the instruction word at @p addr (must be inside). */
-    uint32_t fetch(uint32_t addr) const;
+    uint32_t
+    fetch(uint32_t addr) const
+    {
+        RTDC_ASSERT(contains(addr), "handler fetch outside RAM: 0x%08x",
+                    addr);
+        RTDC_ASSERT((addr & 3) == 0, "misaligned handler fetch: 0x%08x",
+                    addr);
+        return code_[(addr - base) / 4];
+    }
+
+    /** Fetch the predecoded instruction at @p addr (must be inside). */
+    const isa::DecodedInst &
+    fetchDecoded(uint32_t addr) const
+    {
+        RTDC_ASSERT(contains(addr), "handler fetch outside RAM: 0x%08x",
+                    addr);
+        RTDC_ASSERT((addr & 3) == 0, "misaligned handler fetch: 0x%08x",
+                    addr);
+        return decoded_[(addr - base) / 4];
+    }
 
     /** Handler entry point (== base). */
     uint32_t entry() const { return base; }
@@ -49,6 +77,7 @@ class HandlerRam
 
   private:
     std::vector<uint32_t> code_;
+    std::vector<isa::DecodedInst> decoded_;  ///< one entry per word
 };
 
 } // namespace rtd::mem

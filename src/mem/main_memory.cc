@@ -1,5 +1,6 @@
 #include "mem/main_memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "support/logging.h"
@@ -14,16 +15,26 @@ MainMemory::MainMemory(MemoryTiming timing)
 MainMemory::Page *
 MainMemory::findPage(uint32_t addr) const
 {
-    auto it = pages_.find(addr >> pageShift);
-    return it == pages_.end() ? nullptr : &it->second;
+    uint32_t index = addr >> pageShift;
+    if (index == memoIndex_)
+        return memoPage_;
+    auto it = pages_.find(index);
+    memoIndex_ = index;
+    memoPage_ = it == pages_.end() ? nullptr : &it->second;
+    return memoPage_;
 }
 
 MainMemory::Page &
 MainMemory::touchPage(uint32_t addr)
 {
-    Page &page = pages_[addr >> pageShift];
+    uint32_t index = addr >> pageShift;
+    if (index == memoIndex_ && memoPage_)
+        return *memoPage_;
+    Page &page = pages_[index];
     if (page.empty())
         page.assign(pageBytes, 0);
+    memoIndex_ = index;
+    memoPage_ = &page;
     return page;
 }
 
@@ -80,15 +91,31 @@ MainMemory::write32(uint32_t addr, uint32_t value)
 void
 MainMemory::writeBlock(uint32_t addr, const uint8_t *data, size_t size)
 {
-    for (size_t i = 0; i < size; ++i)
-        write8(addr + static_cast<uint32_t>(i), data[i]);
+    // One page lookup per page spanned, not per byte.
+    while (size > 0) {
+        uint32_t off = addr & (pageBytes - 1);
+        size_t chunk = std::min<size_t>(size, pageBytes - off);
+        std::memcpy(touchPage(addr).data() + off, data, chunk);
+        addr += static_cast<uint32_t>(chunk);
+        data += chunk;
+        size -= chunk;
+    }
 }
 
 void
 MainMemory::readBlock(uint32_t addr, uint8_t *data, size_t size) const
 {
-    for (size_t i = 0; i < size; ++i)
-        data[i] = read8(addr + static_cast<uint32_t>(i));
+    while (size > 0) {
+        uint32_t off = addr & (pageBytes - 1);
+        size_t chunk = std::min<size_t>(size, pageBytes - off);
+        if (const Page *page = findPage(addr))
+            std::memcpy(data, page->data() + off, chunk);
+        else
+            std::memset(data, 0, chunk);
+        addr += static_cast<uint32_t>(chunk);
+        data += chunk;
+        size -= chunk;
+    }
 }
 
 } // namespace rtd::mem

@@ -76,6 +76,12 @@ class MainMemory
 
     MemoryTiming timing_;
     mutable std::unordered_map<uint32_t, Page> pages_;
+    // One-entry lookup memo for the hot scalar paths. Mapped values are
+    // stable across rehash and pages are never erased, so a cached Page
+    // pointer can only go stale by being absent-then-created — and every
+    // creation goes through touchPage, which refreshes the memo.
+    mutable uint32_t memoIndex_ = UINT32_MAX;
+    mutable Page *memoPage_ = nullptr;
 };
 
 } // namespace rtd::mem
