@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_handler.dir/bench_ablation_handler.cc.o"
+  "CMakeFiles/bench_ablation_handler.dir/bench_ablation_handler.cc.o.d"
+  "bench_ablation_handler"
+  "bench_ablation_handler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_handler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

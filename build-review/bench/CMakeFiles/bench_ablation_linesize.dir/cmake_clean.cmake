@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_linesize.dir/bench_ablation_linesize.cc.o"
+  "CMakeFiles/bench_ablation_linesize.dir/bench_ablation_linesize.cc.o.d"
+  "bench_ablation_linesize"
+  "bench_ablation_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

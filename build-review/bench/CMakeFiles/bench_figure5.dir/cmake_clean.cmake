@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5.dir/bench_figure5.cc.o"
+  "CMakeFiles/bench_figure5.dir/bench_figure5.cc.o.d"
+  "bench_figure5"
+  "bench_figure5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

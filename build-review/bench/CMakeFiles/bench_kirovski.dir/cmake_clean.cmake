@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kirovski.dir/bench_kirovski.cc.o"
+  "CMakeFiles/bench_kirovski.dir/bench_kirovski.cc.o.d"
+  "bench_kirovski"
+  "bench_kirovski.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kirovski.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

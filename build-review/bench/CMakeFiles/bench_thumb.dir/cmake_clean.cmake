@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thumb.dir/bench_thumb.cc.o"
+  "CMakeFiles/bench_thumb.dir/bench_thumb.cc.o.d"
+  "bench_thumb"
+  "bench_thumb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thumb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table2 "/root/repo/build-review/bench/bench_table2")
+set_tests_properties(smoke_bench_table2 PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table3 "/root/repo/build-review/bench/bench_table3")
+set_tests_properties(smoke_bench_table3 PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_kirovski "/root/repo/build-review/bench/bench_kirovski")
+set_tests_properties(smoke_bench_kirovski PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_thumb "/root/repo/build-review/bench/bench_thumb")
+set_tests_properties(smoke_bench_thumb PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(simperf_smoke "/root/repo/build-review/bench/bench_simperf" "--smoke")
+set_tests_properties(simperf_smoke PROPERTIES  ENVIRONMENT "RTDC_BENCH_SCALE=0.03" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_sweep.dir/cache_sweep.cpp.o"
+  "CMakeFiles/cache_sweep.dir/cache_sweep.cpp.o.d"
+  "cache_sweep"
+  "cache_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_handler.dir/inspect_handler.cpp.o"
+  "CMakeFiles/inspect_handler.dir/inspect_handler.cpp.o.d"
+  "inspect_handler"
+  "inspect_handler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_handler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

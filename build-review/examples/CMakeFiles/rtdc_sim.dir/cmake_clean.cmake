@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdc_sim.dir/rtdc_sim.cpp.o"
+  "CMakeFiles/rtdc_sim.dir/rtdc_sim.cpp.o.d"
+  "rtdc_sim"
+  "rtdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdc_sweep.dir/rtdc_sweep.cpp.o"
+  "CMakeFiles/rtdc_sweep.dir/rtdc_sweep.cpp.o.d"
+  "rtdc_sweep"
+  "rtdc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

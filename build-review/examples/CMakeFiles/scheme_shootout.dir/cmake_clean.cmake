@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_shootout.dir/scheme_shootout.cpp.o"
+  "CMakeFiles/scheme_shootout.dir/scheme_shootout.cpp.o.d"
+  "scheme_shootout"
+  "scheme_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

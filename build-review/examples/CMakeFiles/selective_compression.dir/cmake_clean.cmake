@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_compression.dir/selective_compression.cpp.o"
+  "CMakeFiles/selective_compression.dir/selective_compression.cpp.o.d"
+  "selective_compression"
+  "selective_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

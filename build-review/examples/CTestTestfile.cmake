@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sweep_smoke "/root/repo/build-review/examples/rtdc_sweep" "table3" "--jobs" "4" "--scale" "0.03" "--out" "sweep_smoke.json")
+set_tests_properties(sweep_smoke PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/rtdc.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/cache/cache.cc.o.d"
+  "/root/repo/src/compress/codepack.cc" "src/CMakeFiles/rtdc.dir/compress/codepack.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/compress/codepack.cc.o.d"
+  "/root/repo/src/compress/dictionary.cc" "src/CMakeFiles/rtdc.dir/compress/dictionary.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/compress/dictionary.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/CMakeFiles/rtdc.dir/compress/huffman.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/compress/huffman.cc.o.d"
+  "/root/repo/src/compress/lzrw1.cc" "src/CMakeFiles/rtdc.dir/compress/lzrw1.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/compress/lzrw1.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/rtdc.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/rtdc.dir/core/report.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/core/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/rtdc.dir/core/system.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/core/system.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/rtdc.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/cpu/predictor.cc" "src/CMakeFiles/rtdc.dir/cpu/predictor.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/cpu/predictor.cc.o.d"
+  "/root/repo/src/harness/artifact_cache.cc" "src/CMakeFiles/rtdc.dir/harness/artifact_cache.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/harness/artifact_cache.cc.o.d"
+  "/root/repo/src/harness/json.cc" "src/CMakeFiles/rtdc.dir/harness/json.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/harness/json.cc.o.d"
+  "/root/repo/src/harness/result_sink.cc" "src/CMakeFiles/rtdc.dir/harness/result_sink.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/harness/result_sink.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/rtdc.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/sweeps.cc" "src/CMakeFiles/rtdc.dir/harness/sweeps.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/harness/sweeps.cc.o.d"
+  "/root/repo/src/harness/thread_pool.cc" "src/CMakeFiles/rtdc.dir/harness/thread_pool.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/harness/thread_pool.cc.o.d"
+  "/root/repo/src/isa/decode.cc" "src/CMakeFiles/rtdc.dir/isa/decode.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/isa/decode.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/rtdc.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/rtdc.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/predecode.cc" "src/CMakeFiles/rtdc.dir/isa/predecode.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/isa/predecode.cc.o.d"
+  "/root/repo/src/isa16/thumb.cc" "src/CMakeFiles/rtdc.dir/isa16/thumb.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/isa16/thumb.cc.o.d"
+  "/root/repo/src/mem/handler_ram.cc" "src/CMakeFiles/rtdc.dir/mem/handler_ram.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/mem/handler_ram.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/rtdc.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/proccache/lzrw1_handler.cc" "src/CMakeFiles/rtdc.dir/proccache/lzrw1_handler.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/proccache/lzrw1_handler.cc.o.d"
+  "/root/repo/src/proccache/manager.cc" "src/CMakeFiles/rtdc.dir/proccache/manager.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/proccache/manager.cc.o.d"
+  "/root/repo/src/proccache/proc_image.cc" "src/CMakeFiles/rtdc.dir/proccache/proc_image.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/proccache/proc_image.cc.o.d"
+  "/root/repo/src/profile/placement.cc" "src/CMakeFiles/rtdc.dir/profile/placement.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/profile/placement.cc.o.d"
+  "/root/repo/src/profile/profile.cc" "src/CMakeFiles/rtdc.dir/profile/profile.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/profile/profile.cc.o.d"
+  "/root/repo/src/profile/selection.cc" "src/CMakeFiles/rtdc.dir/profile/selection.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/profile/selection.cc.o.d"
+  "/root/repo/src/program/builder.cc" "src/CMakeFiles/rtdc.dir/program/builder.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/program/builder.cc.o.d"
+  "/root/repo/src/program/linker.cc" "src/CMakeFiles/rtdc.dir/program/linker.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/program/linker.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/CMakeFiles/rtdc.dir/program/program.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/program/program.cc.o.d"
+  "/root/repo/src/runtime/codepack_handler.cc" "src/CMakeFiles/rtdc.dir/runtime/codepack_handler.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/runtime/codepack_handler.cc.o.d"
+  "/root/repo/src/runtime/dictionary_handler.cc" "src/CMakeFiles/rtdc.dir/runtime/dictionary_handler.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/runtime/dictionary_handler.cc.o.d"
+  "/root/repo/src/runtime/huffman_handler.cc" "src/CMakeFiles/rtdc.dir/runtime/huffman_handler.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/runtime/huffman_handler.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/rtdc.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/rtdc.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/rtdc.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/rtdc.dir/support/table.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/support/table.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/rtdc.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/rtdc.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/rtdc.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

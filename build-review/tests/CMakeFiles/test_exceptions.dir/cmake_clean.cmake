@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exceptions.dir/cpu/test_exceptions.cc.o"
+  "CMakeFiles/test_exceptions.dir/cpu/test_exceptions.cc.o.d"
+  "test_exceptions"
+  "test_exceptions.pdb"
+  "test_exceptions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exceptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa16.dir/isa16/test_thumb.cc.o"
+  "CMakeFiles/test_isa16.dir/isa16/test_thumb.cc.o.d"
+  "test_isa16"
+  "test_isa16.pdb"
+  "test_isa16[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

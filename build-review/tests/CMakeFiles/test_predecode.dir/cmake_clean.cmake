@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predecode.dir/cpu/test_predecode.cc.o"
+  "CMakeFiles/test_predecode.dir/cpu/test_predecode.cc.o.d"
+  "test_predecode"
+  "test_predecode.pdb"
+  "test_predecode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

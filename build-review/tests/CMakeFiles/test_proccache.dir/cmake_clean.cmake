@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proccache.dir/proccache/test_proccache.cc.o"
+  "CMakeFiles/test_proccache.dir/proccache/test_proccache.cc.o.d"
+  "test_proccache"
+  "test_proccache.pdb"
+  "test_proccache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proccache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_support[1]_include.cmake")
+include("/root/repo/build-review/tests/test_isa[1]_include.cmake")
+include("/root/repo/build-review/tests/test_isa16[1]_include.cmake")
+include("/root/repo/build-review/tests/test_program[1]_include.cmake")
+include("/root/repo/build-review/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cache[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build-review/tests/test_exceptions[1]_include.cmake")
+include("/root/repo/build-review/tests/test_predecode[1]_include.cmake")
+include("/root/repo/build-review/tests/test_compress[1]_include.cmake")
+include("/root/repo/build-review/tests/test_huffman[1]_include.cmake")
+include("/root/repo/build-review/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-review/tests/test_profile[1]_include.cmake")
+include("/root/repo/build-review/tests/test_placement[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proccache[1]_include.cmake")
+include("/root/repo/build-review/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_paper_claims[1]_include.cmake")
+include("/root/repo/build-review/tests/test_report[1]_include.cmake")
+include("/root/repo/build-review/tests/test_harness[1]_include.cmake")
