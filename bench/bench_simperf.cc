@@ -2,24 +2,31 @@
  * @file
  * Host simulation-speed bench: wall-clock MIPS (millions of simulated
  * instructions per second of host time) for native, dictionary and
- * CodePack runs of the cc1 stand-in, with the predecode fast path on
- * and off. This establishes the perf trajectory the ROADMAP asks for:
- * future PRs report speedups against the recorded baseline.
+ * CodePack runs of the cc1 stand-in, across the three execution
+ * engines: the legacy decode-per-fetch interpreter, the predecoded
+ * engine (PR "predecode", CpuConfig::predecode), and the
+ * block-structured engine on top of it (CpuConfig::blockExec). This
+ * establishes the perf trajectory the ROADMAP asks for: future PRs
+ * report speedups against the recorded baseline.
  *
  * Unlike every other bench, the emitted `BENCH_simperf.json` carries
  * wall-clock fields by design, so it has its own schema (`"sweep":
  * "simperf"`, rows with `wall_seconds`/`host_mips`) and is explicitly
  * *excluded* from the harness's byte-identical-rows determinism
  * contract. The simulated results themselves stay deterministic: each
- * scheme's predecode-on run is asserted cycle-identical to its
- * predecode-off run before any timing is reported.
+ * scheme's three runs are asserted identical on every RunStats counter
+ * before any timing is reported.
  *
  * `--smoke` (used by the `simperf_smoke` ctest) additionally re-parses
  * the written JSON and fails unless every row has the expected keys and
  * a nonzero MIPS figure — never a performance threshold.
  *
+ * `--parity` (used by the `blocks_parity_smoke` ctest) runs each scheme
+ * once per engine, asserts full RunStats identity, and writes nothing:
+ * a fast, deterministic guard on the block engine's invalidation paths.
+ *
  * Decompression self-verification (CpuConfig::verifyDecompression) is
- * off for all timed runs: both fetch paths time the simulator, not the
+ * off for all timed runs: the fetch paths time the simulator, not the
  * simulator's self-checks.
  */
 
@@ -43,6 +50,21 @@ namespace {
 
 using namespace rtd;
 using compress::Scheme;
+
+/** The three execution engines, in baseline-to-fastest order. */
+struct EngineConfig
+{
+    const char *name;
+    bool predecode;
+    bool blockExec;
+};
+
+constexpr EngineConfig kEngines[] = {
+    {"legacy", false, false},
+    {"predecode", true, false},
+    {"blocks", true, true},
+};
+constexpr int kNumEngines = 3;
 
 struct TimedRun
 {
@@ -77,42 +99,70 @@ finishMips(TimedRun &run)
 }
 
 /**
- * Time predecode-off and predecode-on runs of the same BuiltImage,
- * keeping each side's fastest wall time (the standard noise-robust
- * estimator: interference only ever slows a run down). Repetitions are
- * interleaved off/on so a sustained slow period on the host hits both
- * sides rather than biasing the speedup. The simulated results are
- * identical across reps.
+ * Time all three engines over the same BuiltImage, keeping each side's
+ * fastest wall time (the standard noise-robust estimator: interference
+ * only ever slows a run down). Repetitions are interleaved
+ * legacy/predecode/blocks so a sustained slow period on the host hits
+ * every engine rather than biasing the speedups. The simulated results
+ * are identical across engines and reps.
  */
-std::pair<TimedRun, TimedRun>
-timedPair(const std::shared_ptr<const core::BuiltImage> &built,
-          core::SystemConfig config, int reps)
+void
+timedTriple(const std::shared_ptr<const core::BuiltImage> &built,
+            core::SystemConfig config, int reps, TimedRun out[kNumEngines])
 {
-    TimedRun off, on;
     for (int i = 0; i < reps; ++i) {
-        config.cpu.predecode = false;
-        timeOnce(built, config, i == 0, off);
-        config.cpu.predecode = true;
-        timeOnce(built, config, i == 0, on);
+        for (int e = 0; e < kNumEngines; ++e) {
+            config.cpu.predecode = kEngines[e].predecode;
+            config.cpu.blockExec = kEngines[e].blockExec;
+            timeOnce(built, config, i == 0, out[e]);
+        }
     }
-    finishMips(off);
-    finishMips(on);
-    return {off, on};
+    for (int e = 0; e < kNumEngines; ++e)
+        finishMips(out[e]);
 }
 
-/** The simulated-result fields that must not depend on the fetch path. */
+/**
+ * Every RunStats counter must be independent of the execution engine:
+ * the engines are host-side memoization only.
+ */
 void
-assertParity(const cpu::RunStats &on, const cpu::RunStats &off,
-             const char *scheme)
+assertParity(const cpu::RunStats &a, const cpu::RunStats &b,
+             const char *scheme, const char *engine)
 {
-    if (on.cycles != off.cycles || on.userInsns != off.userInsns ||
-        on.handlerInsns != off.handlerInsns ||
-        on.icacheMisses != off.icacheMisses ||
-        on.exceptions != off.exceptions ||
-        on.resultValue != off.resultValue) {
-        fatal("%s: predecode on/off runs diverged (cycles %llu vs %llu)",
-              scheme, static_cast<unsigned long long>(on.cycles),
-              static_cast<unsigned long long>(off.cycles));
+    struct Field
+    {
+        const char *name;
+        uint64_t lhs, rhs;
+    };
+    const Field fields[] = {
+        {"cycles", a.cycles, b.cycles},
+        {"user_insns", a.userInsns, b.userInsns},
+        {"handler_insns", a.handlerInsns, b.handlerInsns},
+        {"icache_accesses", a.icacheAccesses, b.icacheAccesses},
+        {"icache_misses", a.icacheMisses, b.icacheMisses},
+        {"compressed_misses", a.compressedMisses, b.compressedMisses},
+        {"native_misses", a.nativeMisses, b.nativeMisses},
+        {"dcache_accesses", a.dcacheAccesses, b.dcacheAccesses},
+        {"dcache_misses", a.dcacheMisses, b.dcacheMisses},
+        {"writebacks", a.writebacks, b.writebacks},
+        {"branch_lookups", a.branchLookups, b.branchLookups},
+        {"branch_mispredicts", a.branchMispredicts, b.branchMispredicts},
+        {"load_use_stalls", a.loadUseStalls, b.loadUseStalls},
+        {"exceptions", a.exceptions, b.exceptions},
+        {"proc_faults", a.procFaults, b.procFaults},
+        {"proc_evictions", a.procEvictions, b.procEvictions},
+        {"proc_compacted_bytes", a.procCompactedBytes, b.procCompactedBytes},
+        {"proc_decompressed_bytes", a.procDecompressedBytes,
+         b.procDecompressedBytes},
+        {"result_value", a.resultValue, b.resultValue},
+        {"halted", a.halted, b.halted},
+    };
+    for (const Field &f : fields) {
+        if (f.lhs != f.rhs) {
+            fatal("%s/%s: engines diverged on %s (%llu vs %llu)", scheme,
+                  engine, f.name, static_cast<unsigned long long>(f.lhs),
+                  static_cast<unsigned long long>(f.rhs));
+        }
     }
 }
 
@@ -140,11 +190,12 @@ validateJson(const std::string &path, std::string &error)
         error = "no rows";
         return false;
     }
+    bool sawBlocks = false;
     for (size_t i = 0; i < rows->size(); ++i) {
         const harness::Json &row = rows->at(i);
         for (const char *key :
-             {"scheme", "predecode", "user_insns", "handler_insns",
-              "wall_seconds", "host_mips"}) {
+             {"scheme", "engine", "predecode", "block_exec", "user_insns",
+              "handler_insns", "wall_seconds", "host_mips"}) {
             if (!row.find(key)) {
                 error = std::string("row missing key ") + key;
                 return false;
@@ -154,8 +205,51 @@ validateJson(const std::string &path, std::string &error)
             error = "zero host_mips";
             return false;
         }
+        if (row.get("block_exec").asBool()) {
+            sawBlocks = true;
+            if (!row.find("speedup_vs_predecode")) {
+                error = "block row missing speedup_vs_predecode";
+                return false;
+            }
+        }
+    }
+    if (!sawBlocks) {
+        error = "no block_exec rows";
+        return false;
     }
     return true;
+}
+
+/** --parity: one run per engine per scheme, full RunStats identity. */
+int
+runParity(double scale)
+{
+    prog::Program program = bench::generateBenchmark(
+        workload::paperBenchmark("cc1"), scale);
+    for (Scheme scheme :
+         {Scheme::None, Scheme::Dictionary, Scheme::CodePack}) {
+        core::SystemConfig config;
+        config.cpu = core::paperMachine();
+        config.scheme = scheme;
+        auto built = std::make_shared<const core::BuiltImage>(
+            core::buildImage(program, config));
+        cpu::RunStats ref;
+        for (int e = 0; e < kNumEngines; ++e) {
+            config.cpu.predecode = kEngines[e].predecode;
+            config.cpu.blockExec = kEngines[e].blockExec;
+            core::System system(built, config);
+            cpu::RunStats stats = system.run().stats;
+            if (e == 0)
+                ref = stats;
+            else
+                assertParity(stats, ref, compress::schemeName(scheme),
+                             kEngines[e].name);
+        }
+        std::printf("parity ok: %-10s (all RunStats counters identical "
+                    "across %d engines)\n",
+                    compress::schemeName(scheme), kNumEngines);
+    }
+    return 0;
 }
 
 } // namespace
@@ -164,12 +258,20 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool parity = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--parity") == 0)
+            parity = true;
     }
 
     setInformEnabled(false);
+    if (parity) {
+        std::printf("=== simperf: block-engine parity check ===\n");
+        return runParity(bench::announceScale());
+    }
+
     std::printf("=== simperf: host simulation speed (MIPS) ===\n");
     double scale = bench::announceScale();
     cpu::CpuConfig machine = core::paperMachine();
@@ -183,9 +285,9 @@ main(int argc, char **argv)
     prog::Program program = bench::generateBenchmark(
         workload::paperBenchmark("cc1"), scale);
 
-    Table table({"scheme", "predecode", "sim insns", "wall s",
-                 "host MIPS", "speedup"});
-    double dict_speedup = 0.0;
+    Table table({"scheme", "engine", "sim insns", "wall s", "host MIPS",
+                 "vs legacy", "vs predecode"});
+    double dict_block_speedup = 0.0;
     for (Scheme scheme :
          {Scheme::None, Scheme::Dictionary, Scheme::CodePack}) {
         core::SystemConfig config;
@@ -195,47 +297,60 @@ main(int argc, char **argv)
             core::buildImage(program, config));
 
         const int reps = smoke ? 1 : 7;
-        auto [off, on] = timedPair(built, config, reps);
-        assertParity(on.result.stats, off.result.stats,
-                     compress::schemeName(scheme));
+        TimedRun runs[kNumEngines];
+        timedTriple(built, config, reps, runs);
+        for (int e = 1; e < kNumEngines; ++e) {
+            assertParity(runs[e].result.stats, runs[0].result.stats,
+                         compress::schemeName(scheme), kEngines[e].name);
+        }
 
-        double speedup = off.hostMips > 0.0 && on.hostMips > 0.0
-                             ? on.hostMips / off.hostMips
-                             : 0.0;
-        if (scheme == Scheme::Dictionary)
-            dict_speedup = speedup;
-        const TimedRun *runs[] = {&off, &on};
-        for (const TimedRun *run : runs) {
-            bool predecode = run == &on;
-            uint64_t insns = run->result.stats.userInsns +
-                             run->result.stats.handlerInsns;
+        for (int e = 0; e < kNumEngines; ++e) {
+            const TimedRun &run = runs[e];
+            double vs_legacy = e > 0 && runs[0].hostMips > 0.0
+                                   ? run.hostMips / runs[0].hostMips
+                                   : 0.0;
+            double vs_predecode = e == 2 && runs[1].hostMips > 0.0
+                                      ? run.hostMips / runs[1].hostMips
+                                      : 0.0;
+            if (e == 2 && scheme == Scheme::Dictionary)
+                dict_block_speedup = vs_predecode;
+            uint64_t insns = run.result.stats.userInsns +
+                             run.result.stats.handlerInsns;
             table.addRow({
                 compress::schemeName(scheme),
-                predecode ? "on" : "off",
+                kEngines[e].name,
                 fmtCount(insns),
-                fmtDouble(run->wallSeconds, 3),
-                fmtDouble(run->hostMips, 1),
-                predecode ? fmtDouble(speedup, 2) + "x" : "-",
+                fmtDouble(run.wallSeconds, 3),
+                fmtDouble(run.hostMips, 1),
+                e > 0 ? fmtDouble(vs_legacy, 2) + "x" : "-",
+                e == 2 ? fmtDouble(vs_predecode, 2) + "x" : "-",
             });
 
             harness::Json row = harness::Json::object();
             row.set("scheme", compress::schemeName(scheme));
-            row.set("predecode", predecode);
-            row.set("user_insns", run->result.stats.userInsns);
-            row.set("handler_insns", run->result.stats.handlerInsns);
-            row.set("cycles", run->result.stats.cycles);
-            row.set("wall_seconds", run->wallSeconds);
-            row.set("host_mips", run->hostMips);
-            if (predecode)
-                row.set("speedup_vs_decode", speedup);
+            row.set("engine", kEngines[e].name);
+            row.set("predecode", kEngines[e].predecode);
+            row.set("block_exec", kEngines[e].blockExec);
+            row.set("user_insns", run.result.stats.userInsns);
+            row.set("handler_insns", run.result.stats.handlerInsns);
+            row.set("cycles", run.result.stats.cycles);
+            row.set("wall_seconds", run.wallSeconds);
+            row.set("host_mips", run.hostMips);
+            if (e > 0)
+                row.set("speedup_vs_decode", vs_legacy);
+            if (e == 2)
+                row.set("speedup_vs_predecode", vs_predecode);
             sink.addRow(std::move(row));
         }
     }
     std::printf("%s", table.render().c_str());
     std::printf("\nMIPS = simulated (user + handler) instructions per "
-                "second of host wall-clock;\nspeedup = predecode-on MIPS "
-                "/ predecode-off MIPS on the same BuiltImage.\n"
-                "Dictionary speedup: %.2fx\n", dict_speedup);
+                "second of host wall-clock;\nspeedups compare engines on "
+                "the same BuiltImage (legacy = decode per fetch,\n"
+                "predecode = decode-once caches, blocks = block-"
+                "structured dispatch on top).\n"
+                "Dictionary blocks-vs-predecode speedup: %.2fx\n",
+                dict_block_speedup);
 
     const std::string path = "BENCH_simperf.json";
     if (!sink.writeJson(path))

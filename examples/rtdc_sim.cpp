@@ -112,6 +112,12 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+    if (scale <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --scale needs a positive number, got %g\n",
+                     scale);
+        return 2;
+    }
 
     // Machine.
     cpu::CpuConfig machine = core::paperMachine(icache_kb * 1024);

@@ -77,9 +77,10 @@ main(int argc, char **argv)
                 usage(argv[0]);
             opts.jobs = static_cast<unsigned>(jobs);
         } else if (arg == "--scale") {
-            double scale = std::atof(next());
+            const char *text = next();
+            double scale = std::atof(text);
             if (scale <= 0.0)
-                usage(argv[0]);
+                fatal("--scale needs a positive number, got '%s'", text);
             opts.scale = scale;
         } else if (arg == "--out") {
             opts.outPath = next();

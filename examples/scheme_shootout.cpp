@@ -26,6 +26,12 @@ main(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "perl";
     double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    if (scale <= 0.0) {
+        std::fprintf(stderr,
+                     "error: dyn_scale needs a positive number, got '%s'\n",
+                     argv[2]);
+        return 2;
+    }
     const workload::PaperBenchmark &benchmark =
         workload::paperBenchmark(name);
     workload::WorkloadGenerator gen(

@@ -27,6 +27,7 @@ Cache::Cache(std::string name, CacheConfig config)
     config_.check();
     lines_.resize(static_cast<size_t>(config_.numSets()) * config_.assoc);
     data_.resize(static_cast<size_t>(config_.sizeBytes));
+    frameGen_.resize(lines_.size());
 }
 
 unsigned
@@ -100,6 +101,9 @@ Cache::allocate(uint32_t line_addr, Eviction &evicted)
     line.dirty = false;
     line.tag = tagOf(line_addr);
     line.lastUse = ++useClock_;
+    // The frame now holds a different line (or fresh bytes for the same
+    // one): any block built against its old generation is stale.
+    bumpGen(set, way);
     return way;
 }
 
@@ -115,6 +119,7 @@ Cache::fillLine(uint32_t addr, const uint8_t *src, uint8_t *writeback_buf)
     unsigned way;
     if (existing >= 0) {
         way = static_cast<unsigned>(existing);
+        bumpGen(set, way);  // in-place refill rewrites the line's bytes
     } else {
         // Capture the victim's data before it is overwritten so a dirty
         // line can be written back.
@@ -214,6 +219,7 @@ Cache::write32(uint32_t addr, uint32_t value)
     std::memcpy(lineData(set, way) + (addr & (config_.lineBytes - 1)),
                 &value, 4);
     lines_[static_cast<size_t>(set) * config_.assoc + way].dirty = true;
+    bumpGen(set, way);
     if (predecodeEnabled())
         redecodeWord(set, way, addr);
 }
@@ -229,6 +235,7 @@ Cache::write16(uint32_t addr, uint16_t value)
     std::memcpy(lineData(set, way) + (addr & (config_.lineBytes - 1)),
                 &value, 2);
     lines_[static_cast<size_t>(set) * config_.assoc + way].dirty = true;
+    bumpGen(set, way);
     if (predecodeEnabled())
         redecodeWord(set, way, addr);
 }
@@ -241,6 +248,7 @@ Cache::write8(uint32_t addr, uint8_t value)
     locate(addr, set, way);
     lineData(set, way)[addr & (config_.lineBytes - 1)] = value;
     lines_[static_cast<size_t>(set) * config_.assoc + way].dirty = true;
+    bumpGen(set, way);
     if (predecodeEnabled())
         redecodeWord(set, way, addr);
 }
@@ -259,6 +267,8 @@ Cache::flush()
 {
     for (Line &line : lines_)
         line = Line{};
+    for (uint64_t &gen : frameGen_)
+        gen = ++genClock_;
 }
 
 unsigned
@@ -273,6 +283,7 @@ Cache::invalidateRange(uint32_t addr, uint32_t size)
         if (way >= 0) {
             lines_[static_cast<size_t>(set) * config_.assoc +
                    static_cast<unsigned>(way)] = Line{};
+            bumpGen(set, static_cast<unsigned>(way));
             ++count;
         }
         if (line_addr == last)
@@ -301,6 +312,7 @@ Cache::flushRange(uint32_t addr, uint32_t size,
                 ++dirty;
             }
             line = Line{};
+            bumpGen(set, static_cast<unsigned>(way));
         }
         if (line_addr == last)
             break;

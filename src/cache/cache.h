@@ -48,6 +48,16 @@ struct Eviction
     uint32_t addr = 0;    ///< its line base address
 };
 
+/**
+ * Result of a whole-line fetch probe (the block-dispatch entry point):
+ * the present line's decoded mirror and its generation stamp.
+ */
+struct FetchLine
+{
+    const isa::DecodedInst *decoded = nullptr; ///< line-base decoded entries
+    uint64_t gen = 0;                          ///< frame generation
+};
+
 /** Set-associative, true-LRU, data-carrying cache model. */
 class Cache
 {
@@ -160,6 +170,7 @@ class Cache
         Line &line = lines_[static_cast<size_t>(set) * config_.assoc + w];
         line.lastUse = ++useClock_;
         line.dirty = true;
+        bumpGen(set, w);
         uint8_t *dst = lineData(set, w) + (addr & (config_.lineBytes - 1));
         switch (bytes) {
           case 1: *dst = static_cast<uint8_t>(value); break;
@@ -200,6 +211,75 @@ class Cache
         unsigned w = static_cast<unsigned>(way);
         touchLru(set, w);
         return lineDecoded(set, w) + (addr & (config_.lineBytes - 1)) / 4;
+    }
+
+    /**
+     * Combined access() + whole-line fetch for block dispatch
+     * (enablePredecode() must have been called): one tag lookup
+     * validates the line containing @p addr and, on hit, fills @p out
+     * with the line's decoded mirror and generation stamp. Statistics
+     * and LRU update exactly as access() would — the caller credits the
+     * remaining per-instruction hits with creditFetchHits().
+     * @return true on hit.
+     */
+    bool
+    accessFetchLine(uint32_t addr, FetchLine &out)
+    {
+        RTDC_ASSERT((addr & 3) == 0,
+                    "misaligned cache accessFetchLine at 0x%08x", addr);
+        uint32_t set = setIndex(addr);
+        int way = findWay(set, tagOf(addr));
+        if (way < 0) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        unsigned w = static_cast<unsigned>(way);
+        touchLru(set, w);
+        out.decoded = lineDecoded(set, w);
+        out.gen = frameGen_[static_cast<size_t>(set) * config_.assoc + w];
+        return true;
+    }
+
+    /**
+     * accessFetchLine() without statistics or LRU update, for re-reading
+     * the line just installed by a miss service (the per-instruction
+     * path's decodedAt() likewise counts nothing after a fill). Panics
+     * when the line is absent.
+     */
+    void
+    peekFetchLine(uint32_t addr, FetchLine &out) const
+    {
+        uint32_t set;
+        unsigned way;
+        locate(addr, set, way);
+        out.decoded = lineDecoded(set, way);
+        out.gen =
+            frameGen_[static_cast<size_t>(set) * config_.assoc + way];
+    }
+
+    /**
+     * Credit @p n fetch hits that block dispatch collapsed into one
+     * physical tag lookup, keeping hit/miss counters identical to the
+     * per-instruction fetch path (which pays one lookup per fetch).
+     */
+    void creditFetchHits(uint64_t n) { hits_ += n; }
+
+    /**
+     * Generation stamp of the (present) line containing @p addr. Bumped
+     * from a cache-wide monotonic clock whenever the frame's bytes can
+     * change: hardware fill, swic install or overwrite, the write
+     * paths, invalidation, and eviction-by-allocation. Stamps never
+     * repeat across frames, so (line address, generation) identifies
+     * line *content* for the lifetime of the cache.
+     */
+    uint64_t
+    lineGen(uint32_t addr) const
+    {
+        uint32_t set;
+        unsigned way;
+        locate(addr, set, way);
+        return frameGen_[static_cast<size_t>(set) * config_.assoc + way];
     }
 
     /** Probe without statistics or LRU update. */
@@ -255,6 +335,7 @@ class Cache
             return swicAllocWrite(line_addr, addr, word);
         unsigned w = static_cast<unsigned>(way);
         touchLru(set, w);
+        bumpGen(set, w);
         std::memcpy(lineData(set, w) + (addr - line_addr), &word, 4);
         if (predecodeEnabled()) {
             // A swic overwrite of a cached word must invalidate its
@@ -339,6 +420,17 @@ class Cache
         lines_[static_cast<size_t>(set) * config_.assoc + way].lastUse =
             ++useClock_;
     }
+    /**
+     * Stamp (set, way) with a fresh generation: its bytes changed (or
+     * its frame was reassigned). Stamps come from a cache-wide clock so
+     * they never repeat, not even across frames.
+     */
+    void
+    bumpGen(uint32_t set, unsigned way)
+    {
+        frameGen_[static_cast<size_t>(set) * config_.assoc + way] =
+            ++genClock_;
+    }
     /** LRU way of a set (an invalid way wins immediately). */
     unsigned victimWay(uint32_t set) const;
     /** Allocate a line for @p line_addr, returning its way. */
@@ -395,6 +487,9 @@ class Cache
     std::vector<isa::DecodedInst> decoded_;
     /** Word-value memo feeding decoded_ (decompressed words repeat). */
     std::unique_ptr<isa::PredecodeMemo> memo_;
+    /** Per-frame generation stamps (numSets * assoc); see lineGen(). */
+    std::vector<uint64_t> frameGen_;
+    uint64_t genClock_ = 0;
     uint64_t useClock_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;

@@ -121,10 +121,8 @@ benchScaleFromEnv()
     if (!env)
         return 1.0;
     double scale = std::atof(env);
-    if (scale <= 0.0) {
-        warn("ignoring bad RTDC_BENCH_SCALE '%s'", env);
-        return 1.0;
-    }
+    if (scale <= 0.0)
+        fatal("bad RTDC_BENCH_SCALE '%s': need a positive number", env);
     return scale;
 }
 

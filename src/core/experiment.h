@@ -68,7 +68,9 @@ std::vector<prog::Region> dictionaryCapacityRegions(
 
 /**
  * Dynamic-length scale factor for bench runs, from the RTDC_BENCH_SCALE
- * environment variable (default 1.0). Values < 1 shorten runs.
+ * environment variable (default 1.0). Values < 1 shorten runs. A value
+ * that is not a positive number is fatal: a sweep silently running at
+ * scale 1.0 because of a typo wastes hours, a dead process does not.
  */
 double benchScaleFromEnv();
 

@@ -1,6 +1,7 @@
 #include "cpu/cpu.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 #include "isa/decode.h"
@@ -13,6 +14,109 @@ namespace rtd::cpu {
 
 using isa::Instruction;
 using isa::Op;
+
+namespace {
+
+/**
+ * Execute @p inst when its only architectural effect is a register /
+ * hi / lo write: the straight-line ALU subset, shared between the full
+ * interpreter switch (execute()) and the block-dispatch loops, which
+ * inline it to run ALU stretches without the out-of-line call. Ops that
+ * touch memory, control flow, coprocessor state or statistics return
+ * false and take the full path.
+ */
+[[gnu::always_inline]] inline bool
+executeAlu(const Instruction &inst, uint32_t *regs, uint32_t &hi,
+           uint32_t &lo)
+{
+    auto rd = [&](unsigned r) -> uint32_t { return r == 0 ? 0 : regs[r]; };
+    auto wr = [&](unsigned r, uint32_t v) {
+        if (r != 0)
+            regs[r] = v;
+    };
+    auto rs = [&] { return rd(inst.rs); };
+    auto rt = [&] { return rd(inst.rt); };
+    auto wr_rd = [&](uint32_t v) { wr(inst.rd, v); };
+    auto wr_rt = [&](uint32_t v) { wr(inst.rt, v); };
+    int32_t simm = static_cast<int16_t>(inst.imm);
+    uint32_t uimm = inst.imm;
+
+    switch (inst.op) {
+      case Op::Sll: wr_rd(rt() << inst.shamt); return true;
+      case Op::Srl: wr_rd(rt() >> inst.shamt); return true;
+      case Op::Sra:
+        wr_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >>
+                                    inst.shamt));
+        return true;
+      case Op::Sllv: wr_rd(rt() << (rs() & 31)); return true;
+      case Op::Srlv: wr_rd(rt() >> (rs() & 31)); return true;
+      case Op::Srav:
+        wr_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >>
+                                    (rs() & 31)));
+        return true;
+      case Op::Add: case Op::Addu: wr_rd(rs() + rt()); return true;
+      case Op::Sub: case Op::Subu: wr_rd(rs() - rt()); return true;
+      case Op::And: wr_rd(rs() & rt()); return true;
+      case Op::Or: wr_rd(rs() | rt()); return true;
+      case Op::Xor: wr_rd(rs() ^ rt()); return true;
+      case Op::Nor: wr_rd(~(rs() | rt())); return true;
+      case Op::Slt:
+        wr_rd(static_cast<int32_t>(rs()) < static_cast<int32_t>(rt()));
+        return true;
+      case Op::Sltu: wr_rd(rs() < rt()); return true;
+      case Op::Mult: {
+        int64_t prod = static_cast<int64_t>(static_cast<int32_t>(rs())) *
+                       static_cast<int32_t>(rt());
+        lo = static_cast<uint32_t>(prod);
+        hi = static_cast<uint32_t>(prod >> 32);
+        return true;
+      }
+      case Op::Multu: {
+        uint64_t prod = static_cast<uint64_t>(rs()) * rt();
+        lo = static_cast<uint32_t>(prod);
+        hi = static_cast<uint32_t>(prod >> 32);
+        return true;
+      }
+      case Op::Div: {
+        int32_t a = static_cast<int32_t>(rs());
+        int32_t b = static_cast<int32_t>(rt());
+        if (b != 0 && !(a == INT32_MIN && b == -1)) {
+            lo = static_cast<uint32_t>(a / b);
+            hi = static_cast<uint32_t>(a % b);
+        }
+        return true;
+      }
+      case Op::Divu:
+        if (rt() != 0) {
+            lo = rs() / rt();
+            hi = rs() % rt();
+        }
+        return true;
+      case Op::Mfhi: wr_rd(hi); return true;
+      case Op::Mflo: wr_rd(lo); return true;
+      case Op::Mthi: hi = rs(); return true;
+      case Op::Mtlo: lo = rs(); return true;
+
+      case Op::Addi: case Op::Addiu:
+        wr_rt(rs() + static_cast<uint32_t>(simm));
+        return true;
+      case Op::Slti:
+        wr_rt(static_cast<int32_t>(rs()) < simm);
+        return true;
+      case Op::Sltiu:
+        wr_rt(rs() < static_cast<uint32_t>(simm));
+        return true;
+      case Op::Andi: wr_rt(rs() & uimm); return true;
+      case Op::Ori: wr_rt(rs() | uimm); return true;
+      case Op::Xori: wr_rt(rs() ^ uimm); return true;
+      case Op::Lui: wr_rt(uimm << 16); return true;
+
+      default:
+        return false;
+    }
+}
+
+} // namespace
 
 double
 RunStats::icacheMissRatio() const
@@ -124,14 +228,28 @@ RunStats
 Cpu::run()
 {
     stats_ = RunStats{};
-    while (true) {
-        step();
-        if (stats_.halted)
-            break;
-        if (config_.maxUserInsns &&
-            stats_.userInsns >= config_.maxUserInsns) {
-            stats_.timedOut = true;
-            break;
+    // Block dispatch is gated per run: it needs the decoded mirrors
+    // (predecode), and tracing wants per-instruction output. The user
+    // side additionally steps per instruction under profiling (per-PC
+    // attribution) and the procedure-cache baseline (whole-procedure
+    // faults can invalidate the line being executed mid-run); the
+    // handler side has neither concern — handler RAM is immutable —
+    // so it dispatches blocks whenever decoded text exists.
+    handlerBlocks_ = config_.blockExec && config_.predecode &&
+                     config_.traceInsns == 0;
+    bool user_blocks = handlerBlocks_ && !profiling_ && !procMgr_;
+    if (user_blocks) {
+        runBlocks();
+    } else {
+        while (true) {
+            step();
+            if (stats_.halted)
+                break;
+            if (config_.maxUserInsns &&
+                stats_.userInsns >= config_.maxUserInsns) {
+                stats_.timedOut = true;
+                break;
+            }
         }
     }
     // Fold component statistics in.
@@ -330,6 +448,107 @@ Cpu::step()
 }
 
 void
+Cpu::runBlocks()
+{
+    if (!blockCache_) {
+        blockCache_ =
+            std::make_unique<isa::BlockCache>(config_.icache.lineBytes);
+    }
+    const uint32_t line_mask = config_.icache.lineBytes - 1;
+    const uint32_t line_words = config_.icache.lineBytes / 4;
+    while (true) {
+        // One tag check validates the whole line-resident block:
+        // residency (hit/miss exactly where the per-instruction path
+        // would miss — a block never crosses a line boundary, and
+        // nothing inside a block can touch the I-cache) and content
+        // (the frame generation, bumped by every fill/swic/write/
+        // invalidation, keyed against the block). Execution then reads
+        // the validated frame's decoded mirror directly — blocks carry
+        // accounting, not instruction copies.
+        cache::FetchLine line;
+        if (!icache_.accessFetchLine(pc_, line)) {
+            serviceUserMiss();
+            icache_.peekFetchLine(pc_, line);
+        }
+        uint32_t off_words = (pc_ & line_mask) / 4;
+        const isa::DecodedInst *insts = line.decoded + off_words;
+        isa::DecodedBlock &b = blockCache_->slot(pc_);
+        if (!b.matches(pc_, line.gen)) {
+            blockCache_->build(b, pc_, line.gen, insts,
+                               line_words - off_words);
+        }
+        uint64_t k = b.meta.len;
+        if (config_.maxUserInsns) {
+            // Never run past the instruction budget: the per-block adds
+            // must land on exactly the counts the per-instruction loop
+            // stops at.
+            uint64_t remaining = config_.maxUserInsns - stats_.userInsns;
+            if (k > remaining)
+                k = remaining;
+        }
+        executeBlock(b.meta, insts, k);
+        if (stats_.halted)
+            break;
+        if (config_.maxUserInsns &&
+            stats_.userInsns >= config_.maxUserInsns) {
+            stats_.timedOut = true;
+            break;
+        }
+    }
+}
+
+void
+Cpu::executeBlock(const isa::BlockMeta &meta,
+                  const isa::DecodedInst *insts, uint64_t k)
+{
+    if (meta.startsInvalid) {
+        fatal("invalid instruction 0x%08x at pc 0x%08x", insts[0].word,
+              pc_);
+    }
+    // Batched fetch accounting: the single dispatch lookup stood in for
+    // k per-instruction fetches (each a hit — see runBlocks()).
+    stats_.icacheAccesses += k;
+    icache_.creditFetchHits(k - 1);
+    // The first instruction's interlock depends on state carried in
+    // from before the block; the in-block stalls are precomputed.
+    if (lastLoadDest_ != 0) {
+        const isa::DecodedInst &d0 = insts[0];
+        for (unsigned s = 0; s < d0.nsrc; ++s) {
+            if (d0.srcs[s] == lastLoadDest_) {
+                ++stats_.cycles;
+                ++stats_.loadUseStalls;
+                break;
+            }
+        }
+    }
+    uint64_t stalls =
+        k == meta.len
+            ? meta.internalStalls
+            : static_cast<uint64_t>(std::popcount(
+                  meta.stallMask & ((1u << k) - 1)));
+    stats_.cycles += k + stalls;
+    stats_.loadUseStalls += stalls;
+    stats_.userInsns += k;
+    lastLoadDest_ = insts[k - 1].isLoad ? insts[k - 1].dest : 0;
+
+    // Architectural effects, plus the paths that stay per-instruction:
+    // D-cache traffic, predictor updates, control-flow penalties. The
+    // ALU subset runs inline (identical semantics — execute() consults
+    // the same helper first); only loads, stores, control transfers and
+    // system ops pay the out-of-line interpreter call.
+    uint32_t pc = pc_;
+    uint32_t *regs = regs_.data();
+    for (uint64_t i = 0; i < k; ++i) {
+        const isa::DecodedInst &d = insts[i];
+        if (executeAlu(d.inst, regs, hi_, lo_))
+            pc += 4;
+        else
+            pc = executeSlow(d, pc, regs, false);
+    }
+    pc_ = pc;
+}
+
+void
 Cpu::runHandler(uint32_t addr)
 {
     RTDC_ASSERT(handlerRam_.loaded(), "miss exception with no handler");
@@ -344,6 +563,12 @@ Cpu::runHandler(uint32_t addr)
     const bool predecode = config_.predecode;
     // Interlock state does not carry across the pipeline flush.
     lastLoadDest_ = 0;
+    if (handlerBlocks_) {
+        runHandlerBlocks(hpc, regs);
+        lastLoadDest_ = 0;
+        pc_ = c0_[isa::C0Epc];
+        return;
+    }
     while (true) {
         // The handler RAM is immutable after load, so the predecoded
         // path touches no decoder at all in this loop.
@@ -372,6 +597,48 @@ Cpu::runHandler(uint32_t addr)
     lastLoadDest_ = 0;
     // Resume at the missed instruction (c0[Epc]).
     pc_ = c0_[isa::C0Epc];
+}
+
+uint32_t
+Cpu::runHandlerBlocks(uint32_t hpc, uint32_t *regs)
+{
+    // Handler RAM is immutable after load(), so its blocks were scanned
+    // once there and need no residency or generation checks: dispatch
+    // is an array read plus one batched stats add per block.
+    while (true) {
+        const isa::DecodedInst *insts;
+        const isa::BlockMeta &m = handlerRam_.blockAt(hpc, insts);
+        RTDC_ASSERT(!m.startsInvalid,
+                    "invalid handler instruction at 0x%08x", hpc);
+        if (lastLoadDest_ != 0) {
+            const isa::DecodedInst &d0 = insts[0];
+            for (unsigned s = 0; s < d0.nsrc; ++s) {
+                if (d0.srcs[s] == lastLoadDest_) {
+                    ++stats_.cycles;
+                    ++stats_.loadUseStalls;
+                    break;
+                }
+            }
+        }
+        stats_.cycles += m.len + m.internalStalls;
+        stats_.loadUseStalls += m.internalStalls;
+        stats_.handlerInsns += m.len;
+        lastLoadDest_ = m.lastLoadDest;
+
+        uint32_t pc = hpc;
+        for (uint32_t i = 0; i < m.len; ++i) {
+            const isa::DecodedInst &d = insts[i];
+            // iret is counted (cycle + instruction + interlock) but not
+            // executed, exactly as the per-instruction loop breaks.
+            if (d.inst.op == Op::Iret)
+                return pc;
+            if (executeAlu(d.inst, regs, hi_, lo_))
+                pc += 4;
+            else
+                pc = executeSlow(d, pc, regs, true);
+        }
+        hpc = pc;
+    }
 }
 
 void
@@ -511,6 +778,15 @@ uint32_t
 Cpu::execute(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
              bool handler)
 {
+    if (executeAlu(d.inst, regs, hi_, lo_))
+        return pc + 4;
+    return executeSlow(d, pc, regs, handler);
+}
+
+uint32_t
+Cpu::executeSlow(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
+                 bool handler)
+{
     const Instruction &inst = d.inst;
     auto rs = [&] { return readReg(regs, inst.rs); };
     auto rt = [&] { return readReg(regs, inst.rt); };
@@ -527,75 +803,6 @@ Cpu::execute(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
     };
 
     switch (inst.op) {
-      case Op::Sll: wr_rd(rt() << inst.shamt); break;
-      case Op::Srl: wr_rd(rt() >> inst.shamt); break;
-      case Op::Sra:
-        wr_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >>
-                                    inst.shamt));
-        break;
-      case Op::Sllv: wr_rd(rt() << (rs() & 31)); break;
-      case Op::Srlv: wr_rd(rt() >> (rs() & 31)); break;
-      case Op::Srav:
-        wr_rd(static_cast<uint32_t>(static_cast<int32_t>(rt()) >>
-                                    (rs() & 31)));
-        break;
-      case Op::Add: case Op::Addu: wr_rd(rs() + rt()); break;
-      case Op::Sub: case Op::Subu: wr_rd(rs() - rt()); break;
-      case Op::And: wr_rd(rs() & rt()); break;
-      case Op::Or: wr_rd(rs() | rt()); break;
-      case Op::Xor: wr_rd(rs() ^ rt()); break;
-      case Op::Nor: wr_rd(~(rs() | rt())); break;
-      case Op::Slt:
-        wr_rd(static_cast<int32_t>(rs()) < static_cast<int32_t>(rt()));
-        break;
-      case Op::Sltu: wr_rd(rs() < rt()); break;
-      case Op::Mult: {
-        int64_t prod = static_cast<int64_t>(static_cast<int32_t>(rs())) *
-                       static_cast<int32_t>(rt());
-        lo_ = static_cast<uint32_t>(prod);
-        hi_ = static_cast<uint32_t>(prod >> 32);
-        break;
-      }
-      case Op::Multu: {
-        uint64_t prod = static_cast<uint64_t>(rs()) * rt();
-        lo_ = static_cast<uint32_t>(prod);
-        hi_ = static_cast<uint32_t>(prod >> 32);
-        break;
-      }
-      case Op::Div: {
-        int32_t a = static_cast<int32_t>(rs());
-        int32_t b = static_cast<int32_t>(rt());
-        if (b != 0 && !(a == INT32_MIN && b == -1)) {
-            lo_ = static_cast<uint32_t>(a / b);
-            hi_ = static_cast<uint32_t>(a % b);
-        }
-        break;
-      }
-      case Op::Divu:
-        if (rt() != 0) {
-            lo_ = rs() / rt();
-            hi_ = rs() % rt();
-        }
-        break;
-      case Op::Mfhi: wr_rd(hi_); break;
-      case Op::Mflo: wr_rd(lo_); break;
-      case Op::Mthi: hi_ = rs(); break;
-      case Op::Mtlo: lo_ = rs(); break;
-
-      case Op::Addi: case Op::Addiu:
-        wr_rt(rs() + static_cast<uint32_t>(simm));
-        break;
-      case Op::Slti:
-        wr_rt(static_cast<int32_t>(rs()) < simm);
-        break;
-      case Op::Sltiu:
-        wr_rt(rs() < static_cast<uint32_t>(simm));
-        break;
-      case Op::Andi: wr_rt(rs() & uimm); break;
-      case Op::Ori: wr_rt(rs() | uimm); break;
-      case Op::Xori: wr_rt(rs() ^ uimm); break;
-      case Op::Lui: wr_rt(uimm << 16); break;
-
       case Op::J:
         accountControl(d, pc, true);
         next = (pc & 0xf0000000u) | (inst.target << 2);
@@ -683,8 +890,9 @@ Cpu::execute(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
         stats_.resultValue = readReg(regs, isa::V0);
         break;
 
-      case Op::Invalid:
-      case Op::NumOps:
+      default:
+        // The ALU subset was consumed by executeAlu() above; anything
+        // else here is an invalid encoding reaching execution.
         panic("executing invalid instruction at 0x%08x", pc);
     }
     return next;

@@ -33,6 +33,7 @@
 #include "cache/cache.h"
 #include "compress/compressed_image.h"
 #include "cpu/predictor.h"
+#include "isa/blocks.h"
 #include "isa/isa.h"
 #include "isa/predecode.h"
 #include "mem/handler_ram.h"
@@ -65,6 +66,19 @@ struct CpuConfig
      * hatch exists for that parity check and as the perf baseline.
      */
     bool predecode = true;
+    /**
+     * Block execution engine: dispatch straight-line runs of predecoded
+     * instructions (ending at a control transfer or an I-line boundary)
+     * from a direct-mapped block cache, paying one I-cache tag check
+     * and one batched stats/cycles add per block instead of per
+     * instruction (DESIGN.md section 11). Requires predecode; falls
+     * back to per-instruction stepping under profiling, tracing, and
+     * the procedure-cache baseline. Host-side memoization only —
+     * RunStats are identical either way (tests/cpu/test_blocks.cc and
+     * the blocks_parity_smoke ctest assert it); off = escape hatch and
+     * perf baseline.
+     */
+    bool blockExec = true;
     /**
      * Verify every decompressed word against the linked ground truth
      * (each handler swic, plus a whole-procedure sweep after each
@@ -190,9 +204,31 @@ class Cpu
     }
     /// @}
 
+    /** Block cache (nullptr until the first block-mode run()). */
+    const isa::BlockCache *blockCache() const { return blockCache_.get(); }
+
   private:
     /** Execute one user instruction (fetch, decode, execute, retire). */
     void step();
+    /**
+     * Block-dispatch main loop (the blockExec fast path): per block,
+     * one I-cache tag check validates residency and generation for the
+     * whole line-resident block, servicing a miss and/or rebuilding the
+     * block when needed, then executes it from the frame's decoded
+     * mirror.
+     */
+    void runBlocks();
+    /**
+     * Execute the first @p k instructions of the block described by
+     * @p meta at @p insts (k < len only when maxUserInsns expires
+     * mid-block): batched fetch/cycle/instruction accounting, then
+     * per-instruction execution for the architectural effects and the
+     * per-instruction timing paths (D-cache, predictor, memory).
+     */
+    void executeBlock(const isa::BlockMeta &meta,
+                      const isa::DecodedInst *insts, uint64_t k);
+    /** runHandler()'s dispatch loop over the handler RAM's blocks. */
+    uint32_t runHandlerBlocks(uint32_t hpc, uint32_t *regs);
     /**
      * Fetch the (pre)decoded instruction at pc_, servicing any miss.
      * The reference points into the I-cache's decoded store (predecode
@@ -221,6 +257,10 @@ class Cpu
      */
     uint32_t execute(const isa::DecodedInst &d, uint32_t pc,
                      uint32_t *regs, bool handler);
+    /** execute() for the non-ALU ops (memory, control, system): the
+     *  slow half behind the inlined ALU dispatch of the block loops. */
+    uint32_t executeSlow(const isa::DecodedInst &d, uint32_t pc,
+                         uint32_t *regs, bool handler);
     /** Timing + data for one D-cache access of @p bytes at @p addr. */
     void dataAccess(uint32_t addr, bool is_store, bool handler);
     /** D-cache miss service: fill from memory, write back a dirty victim. */
@@ -295,6 +335,10 @@ class Cpu
     std::vector<uint8_t> wbBuf_;
     /** Per-fetch decode slot for the predecode-off path. */
     isa::DecodedInst fetchScratch_;
+    /** User-side block cache (created lazily by runBlocks()). */
+    std::unique_ptr<isa::BlockCache> blockCache_;
+    /** Handler block dispatch enabled for this run (set by run()). */
+    bool handlerBlocks_ = false;
 };
 
 } // namespace rtd::cpu

@@ -1,0 +1,72 @@
+#include "isa/blocks.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/logging.h"
+
+namespace rtd::isa {
+
+bool
+endsBlock(const DecodedInst &d)
+{
+    switch (d.inst.op) {
+      case Op::J: case Op::Jal: case Op::Jr: case Op::Jalr:
+      case Op::Beq: case Op::Bne: case Op::Blez: case Op::Bgtz:
+      case Op::Bltz: case Op::Bgez:
+      case Op::Iret:
+      case Op::Halt:
+      case Op::Swic:
+        return true;
+      default:
+        return false;
+    }
+}
+
+BlockMeta
+scanBlock(const DecodedInst *insts, uint32_t max_words, bool swic_ends)
+{
+    RTDC_ASSERT(max_words >= 1, "scanBlock over an empty window");
+    BlockMeta meta;
+    if (!insts[0].inst.valid()) {
+        meta.len = 1;
+        meta.startsInvalid = true;
+        return meta;
+    }
+    uint32_t n = std::min(max_words, kMaxBlockWords);
+    for (uint32_t i = 0; i < n; ++i) {
+        const DecodedInst &d = insts[i];
+        if (!d.inst.valid())
+            break;  // the undecodable word starts its own block
+        if (i > 0) {
+            const DecodedInst &prev = insts[i - 1];
+            if (prev.isLoad && prev.dest != 0) {
+                for (unsigned s = 0; s < d.nsrc; ++s) {
+                    if (d.srcs[s] == prev.dest) {
+                        meta.stallMask |= 1u << i;
+                        break;
+                    }
+                }
+            }
+        }
+        ++meta.len;
+        if (endsBlock(d) && (swic_ends || d.inst.op != Op::Swic))
+            break;
+    }
+    meta.internalStalls =
+        static_cast<uint8_t>(std::popcount(meta.stallMask));
+    const DecodedInst &last = insts[meta.len - 1];
+    meta.lastLoadDest = last.isLoad ? last.dest : 0;
+    return meta;
+}
+
+BlockCache::BlockCache(uint32_t line_bytes, unsigned entries_log2)
+    : wordsPerBlock_(std::min(line_bytes / 4, kMaxBlockWords)),
+      shift_(32 - entries_log2)
+{
+    RTDC_ASSERT(line_bytes >= 4 && (line_bytes & 3) == 0,
+                "block cache needs word-multiple lines (%u)", line_bytes);
+    entries_.resize(size_t{1} << entries_log2);
+}
+
+} // namespace rtd::isa

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "isa/blocks.h"
 #include "isa/predecode.h"
 #include "support/logging.h"
 #include "support/stats.h"
@@ -36,8 +37,13 @@ class HandlerRam
      */
     void load(const std::vector<uint32_t> &code);
 
-    /** True when @p addr falls inside the loaded handler. */
-    bool contains(uint32_t addr) const;
+    /** True when @p addr falls inside the loaded handler. Header-inline:
+     *  the fetch-path asserts consult it per simulated instruction. */
+    bool
+    contains(uint32_t addr) const
+    {
+        return addr >= base && addr < base + sizeBytes();
+    }
 
     // fetch()/fetchDecoded() run once per simulated handler instruction
     // (tens of millions of calls per run), so both stay in the header.
@@ -64,6 +70,46 @@ class HandlerRam
         return decoded_[(addr - base) / 4];
     }
 
+    /**
+     * Static accounting of the block entered at @p addr. Handler text
+     * is immutable after load(), so blocks exist for every word index,
+     * are computed once at load time, and never need invalidation — the
+     * handler side of block execution has no generation checks at all.
+     */
+    const isa::BlockMeta &
+    blockMetaAt(uint32_t addr) const
+    {
+        RTDC_ASSERT(contains(addr), "handler fetch outside RAM: 0x%08x",
+                    addr);
+        RTDC_ASSERT((addr & 3) == 0, "misaligned handler fetch: 0x%08x",
+                    addr);
+        return blockMeta_[(addr - base) / 4];
+    }
+
+    /** Predecoded instructions starting at @p addr (must be inside). */
+    const isa::DecodedInst *
+    decodedFrom(uint32_t addr) const
+    {
+        return decoded_.data() + (addr - base) / 4;
+    }
+
+    /**
+     * Block dispatch in one probe: blockMetaAt() + decodedFrom() with a
+     * single bounds check and index computation, for the handler-block
+     * loop that runs once per dispatched block.
+     */
+    const isa::BlockMeta &
+    blockAt(uint32_t addr, const isa::DecodedInst *&insts) const
+    {
+        RTDC_ASSERT(contains(addr), "handler fetch outside RAM: 0x%08x",
+                    addr);
+        RTDC_ASSERT((addr & 3) == 0, "misaligned handler fetch: 0x%08x",
+                    addr);
+        size_t idx = (addr - base) / 4;
+        insts = decoded_.data() + idx;
+        return blockMeta_[idx];
+    }
+
     /** Handler entry point (== base). */
     uint32_t entry() const { return base; }
 
@@ -78,6 +124,7 @@ class HandlerRam
   private:
     std::vector<uint32_t> code_;
     std::vector<isa::DecodedInst> decoded_;  ///< one entry per word
+    std::vector<isa::BlockMeta> blockMeta_;  ///< block starting per word
 };
 
 } // namespace rtd::mem
