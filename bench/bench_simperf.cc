@@ -154,6 +154,9 @@ assertParity(const cpu::RunStats &a, const cpu::RunStats &b,
         {"proc_compacted_bytes", a.procCompactedBytes, b.procCompactedBytes},
         {"proc_decompressed_bytes", a.procDecompressedBytes,
          b.procDecompressedBytes},
+        {"machine_checks", a.machineChecks, b.machineChecks},
+        {"integrity_retries", a.integrityRetries, b.integrityRetries},
+        {"machine_check_halt", a.machineCheckHalt, b.machineCheckHalt},
         {"result_value", a.resultValue, b.resultValue},
         {"halted", a.halted, b.halted},
     };

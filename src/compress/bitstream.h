@@ -54,7 +54,16 @@ class BitWriter
     unsigned bitPos_ = 0;
 };
 
-/** MSB-first bit reader over a byte buffer. */
+/**
+ * MSB-first bit reader over a byte buffer.
+ *
+ * Reading past the end of the stream is a checked, reportable condition,
+ * not UB: out-of-range bits read as zero and set a sticky overrun flag
+ * the caller inspects with ok()/overrun(). Truncated or corrupted
+ * streams (the fault-injection subsystem produces both) therefore
+ * decode to *something* deterministic and flag the damage instead of
+ * crashing the process.
+ */
 class BitReader
 {
   public:
@@ -63,7 +72,7 @@ class BitReader
     {
     }
 
-    /** Read @p width bits, MSB first. */
+    /** Read @p width bits, MSB first (zeros once past end-of-stream). */
     uint32_t
     get(unsigned width)
     {
@@ -71,8 +80,11 @@ class BitReader
         uint32_t value = 0;
         for (unsigned i = 0; i < width; ++i) {
             size_t byte = pos_ >> 3;
-            RTDC_ASSERT(byte < size_, "BitReader overrun");
-            unsigned bit = (data_[byte] >> (7 - (pos_ & 7))) & 1u;
+            unsigned bit = 0;
+            if (byte < size_)
+                bit = (data_[byte] >> (7 - (pos_ & 7))) & 1u;
+            else
+                overrun_ = true;
             value = (value << 1) | bit;
             ++pos_;
         }
@@ -89,10 +101,16 @@ class BitReader
     /** Position one past the last consumed bit. */
     size_t bitPos() const { return pos_; }
 
+    /** True once any read ran past the end of the stream. */
+    bool overrun() const { return overrun_; }
+    /** No overrun has happened. */
+    bool ok() const { return !overrun_; }
+
   private:
     const uint8_t *data_;
     size_t size_;
     size_t pos_ = 0;
+    bool overrun_ = false;
 };
 
 } // namespace rtd::compress

@@ -186,6 +186,95 @@ CodePack::decompressGroup(const CodePackCompressed &compressed,
         uint16_t lo = decodeHalf(br, compressed.lowDict);
         out[i] = static_cast<uint32_t>(hi) << 16 | lo;
     }
+    RTDC_ASSERT(br.ok(), "codepack stream overrun in group %zu",
+                group_idx);
+}
+
+namespace {
+
+/** decodeHalf with rank/overrun checking instead of asserts. */
+bool
+tryDecodeHalf(BitReader &br, const std::vector<uint16_t> &dict,
+              uint16_t &out, std::string *error)
+{
+    auto lookup = [&](uint32_t rank) {
+        if (rank >= dict.size()) {
+            if (error) {
+                *error = "codepack rank " + std::to_string(rank) +
+                         " outside dictionary of " +
+                         std::to_string(dict.size());
+            }
+            return false;
+        }
+        out = dict[rank];
+        return true;
+    };
+    uint32_t tag = br.get(2);
+    bool ok;
+    switch (tag) {
+      case 0b00:
+        ok = lookup(0);
+        break;
+      case 0b01:
+        ok = lookup(Params::class1First + br.get(4));
+        break;
+      case 0b10:
+        if (br.get(1) == 0)
+            ok = lookup(Params::class2First + br.get(6));
+        else
+            ok = lookup(Params::class3First + br.get(8));
+        break;
+      default:
+        out = static_cast<uint16_t>(br.get(16));
+        ok = true;
+        break;
+    }
+    if (ok && br.overrun()) {
+        if (error)
+            *error = "codepack stream truncated mid-codeword";
+        return false;
+    }
+    return ok;
+}
+
+} // namespace
+
+bool
+CodePack::tryDecompressGroup(const CodePackCompressed &compressed,
+                             size_t group_idx, uint32_t out[16],
+                             std::string *error)
+{
+    size_t pair = group_idx / 2;
+    if (pair >= compressed.mapTable.size()) {
+        if (error) {
+            *error = "group " + std::to_string(group_idx) +
+                     " outside map table";
+        }
+        return false;
+    }
+    uint32_t entry = compressed.mapTable[pair];
+    uint32_t offset = entry & 0x00ffffffu;
+    if (group_idx & 1)
+        offset += entry >> 24;
+    if (offset > compressed.stream.size()) {
+        if (error) {
+            *error = "group offset " + std::to_string(offset) +
+                     " outside stream of " +
+                     std::to_string(compressed.stream.size()) + " bytes";
+        }
+        return false;
+    }
+    BitReader br(compressed.stream.data() + offset,
+                 compressed.stream.size() - offset);
+    for (unsigned i = 0; i < Params::groupInsns; ++i) {
+        uint16_t hi, lo;
+        if (!tryDecodeHalf(br, compressed.highDict, hi, error) ||
+            !tryDecodeHalf(br, compressed.lowDict, lo, error)) {
+            return false;
+        }
+        out[i] = static_cast<uint32_t>(hi) << 16 | lo;
+    }
+    return true;
 }
 
 std::vector<uint32_t>

@@ -30,6 +30,7 @@
 #define RTDC_COMPRESS_CODEPACK_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "compress/compressed_image.h"
@@ -84,9 +85,21 @@ class CodePack
     static std::vector<uint32_t> decompress(
         const CodePackCompressed &compressed);
 
-    /** Decompress a single group (group_idx) into 16 words. */
+    /** Decompress a single group (group_idx) into 16 words. Asserts on
+     *  corrupt input (use tryDecompressGroup for untrusted data). */
     static void decompressGroup(const CodePackCompressed &compressed,
                                 size_t group_idx, uint32_t out[16]);
+
+    /**
+     * Hardened reference decode of one group for untrusted/corrupted
+     * input: bounds-checks the mapping-table entry, the stream offset,
+     * every dictionary rank, and the stream length. Returns false (with
+     * a diagnostic in @p error when non-null) instead of asserting;
+     * never reads out of bounds.
+     */
+    static bool tryDecompressGroup(const CodePackCompressed &compressed,
+                                   size_t group_idx, uint32_t out[16],
+                                   std::string *error = nullptr);
 
     /**
      * Build the memory image: .codewords, .map, .highdict and .lowdict

@@ -58,6 +58,17 @@ struct CompressedImage
     /** c0 register file contents the decompressor expects. */
     std::array<uint32_t, isa::numC0Regs> c0{};
 
+    /// @name Optional integrity metadata (attachIntegrity(); see
+    /// DESIGN.md section 12). Zero/empty when integrity is disabled.
+    /// @{
+    /** Decompressed bytes covered by each CRC (a cache line, or one
+     *  64-byte CodePack group). */
+    uint32_t crcUnitBytes = 0;
+    /** CRC-32 of each unit's original instruction words (LE bytes),
+     *  in region order; mirrored into the ".crc" segment. */
+    std::vector<uint32_t> unitCrcs;
+    /// @}
+
     /**
      * Total payload bytes (all segments) — the numerator of the paper's
      * compression ratio. The decompressor code itself is excluded, as in

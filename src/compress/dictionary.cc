@@ -52,8 +52,9 @@ DictionaryCompressor::compress(const std::vector<uint32_t> &words)
             w, static_cast<uint16_t>(out.dictionary.size()));
         if (inserted) {
             if (out.dictionary.size() >= 65536) {
-                fatal("dictionary compression overflow: more than 64K "
-                      "unique instructions; use selective compression");
+                throw SimError(
+                    "dictionary compression overflow: more than 64K "
+                    "unique instructions; use selective compression");
             }
             out.dictionary.push_back(w);
         }

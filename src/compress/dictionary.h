@@ -51,8 +51,11 @@ class DictionaryCompressor
     /**
      * Compress an instruction stream.
      * @param words the compressed-region instructions
-     * @return the compressed form; fatal() when the stream has more than
-     *         64K unique instructions
+     * @return the compressed form
+     * @throws SimError when the stream has more than 64K unique
+     *         instructions — a structured error the caller (and a sweep
+     *         harness job) can surface without killing the process; fall
+     *         back to selective compression.
      */
     static DictionaryCompressed compress(
         const std::vector<uint32_t> &words);

@@ -215,13 +215,81 @@ HuffmanLine::decompressLine(const HuffmanCompressed &compressed,
                         "malformed huffman stream");
             uint32_t count = compressed.code.countOfLen[len];
             if (code < first + count) {
-                out[i] = compressed.code.symbols[index + code - first];
+                size_t sym = index + code - first;
+                RTDC_ASSERT(sym < compressed.code.symbols.size(),
+                            "huffman symbol index outside permutation");
+                out[i] = compressed.code.symbols[sym];
                 break;
             }
             index += count;
             first = (first + count) << 1;
         }
     }
+}
+
+bool
+HuffmanLine::tryDecompressLine(const HuffmanCompressed &compressed,
+                               size_t line, uint8_t *out,
+                               std::string *error)
+{
+    size_t pair = line / 2;
+    if (pair >= compressed.lat.size()) {
+        if (error)
+            *error = "line " + std::to_string(line) + " outside LAT";
+        return false;
+    }
+    uint32_t entry = compressed.lat[pair];
+    uint32_t offset = entry & 0x00ffffffu;
+    if (line & 1)
+        offset += entry >> 24;
+    if (offset > compressed.stream.size()) {
+        if (error) {
+            *error = "line offset " + std::to_string(offset) +
+                     " outside stream of " +
+                     std::to_string(compressed.stream.size()) + " bytes";
+        }
+        return false;
+    }
+    BitReader br(compressed.stream.data() + offset,
+                 compressed.stream.size() - offset);
+    for (uint32_t i = 0; i < compressed.lineBytes; ++i) {
+        uint16_t code = 0;
+        uint32_t first = 0;
+        uint32_t index = 0;
+        unsigned len = 0;
+        while (true) {
+            code = static_cast<uint16_t>(code << 1 | br.get(1));
+            ++len;
+            if (len > HuffmanCode::maxLen || br.overrun()) {
+                if (error) {
+                    *error = br.overrun()
+                                 ? "huffman stream truncated mid-code"
+                                 : "malformed huffman code (no symbol "
+                                   "within maxLen bits)";
+                }
+                return false;
+            }
+            uint32_t count = compressed.code.countOfLen[len];
+            if (code < first + count) {
+                size_t sym = index + code - first;
+                if (sym >= compressed.code.symbols.size()) {
+                    if (error) {
+                        *error = "huffman symbol index " +
+                                 std::to_string(sym) +
+                                 " outside permutation of " +
+                                 std::to_string(
+                                     compressed.code.symbols.size());
+                    }
+                    return false;
+                }
+                out[i] = compressed.code.symbols[sym];
+                break;
+            }
+            index += count;
+            first = (first + count) << 1;
+        }
+    }
+    return true;
 }
 
 std::vector<uint32_t>

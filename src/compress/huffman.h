@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "compress/compressed_image.h"
@@ -75,9 +76,22 @@ class HuffmanLine
     static HuffmanCompressed compress(const std::vector<uint32_t> &words,
                                       uint32_t line_bytes = 32);
 
-    /** Decode one line into line_bytes bytes (reference decoder). */
+    /** Decode one line into line_bytes bytes (reference decoder).
+     *  Asserts on corrupt input (use tryDecompressLine for untrusted
+     *  data). */
     static void decompressLine(const HuffmanCompressed &compressed,
                                size_t line, uint8_t *out);
+
+    /**
+     * Hardened reference decode of one line for untrusted/corrupted
+     * input: bounds-checks the LAT entry, the stream offset, the code
+     * length against maxLen, the symbol-permutation index, and stream
+     * truncation. Returns false (with a diagnostic in @p error when
+     * non-null) instead of asserting; never reads out of bounds.
+     */
+    static bool tryDecompressLine(const HuffmanCompressed &compressed,
+                                  size_t line, uint8_t *out,
+                                  std::string *error = nullptr);
 
     /** Round-trip the whole stream (reference decoder). */
     static std::vector<uint32_t> decompress(

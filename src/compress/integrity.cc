@@ -1,0 +1,72 @@
+#include "compress/integrity.h"
+
+#include <algorithm>
+
+#include "support/bitops.h"
+#include "support/crc32.h"
+#include "support/logging.h"
+
+namespace rtd::compress {
+
+std::vector<uint32_t>
+computeUnitCrcs(const std::vector<uint32_t> &words, uint32_t unit_bytes)
+{
+    RTDC_ASSERT(unit_bytes >= 4 && unit_bytes % 4 == 0,
+                "bad integrity unit %u", unit_bytes);
+    const size_t unit_words = unit_bytes / 4;
+    std::vector<uint32_t> crcs;
+    crcs.reserve((words.size() + unit_words - 1) / unit_words);
+    for (size_t base = 0; base < words.size(); base += unit_words) {
+        size_t end = std::min(base + unit_words, words.size());
+        Crc32 crc;
+        for (size_t i = base; i < end; ++i)
+            crc.updateWord(words[i]);
+        crcs.push_back(crc.value());
+    }
+    return crcs;
+}
+
+void
+attachIntegrity(CompressedImage &image, const std::vector<uint32_t> &words,
+                uint32_t unit_bytes)
+{
+    image.crcUnitBytes = unit_bytes;
+    image.unitCrcs = computeUnitCrcs(words, unit_bytes);
+
+    uint32_t cursor = 0;
+    for (const CompressedSegment &seg : image.segments) {
+        cursor = std::max(
+            cursor, seg.base + static_cast<uint32_t>(seg.bytes.size()));
+    }
+    CompressedSegment seg;
+    seg.name = ".crc";
+    seg.base = static_cast<uint32_t>(alignUp(cursor, 4));
+    seg.bytes.resize(image.unitCrcs.size() * 4);
+    for (size_t i = 0; i < image.unitCrcs.size(); ++i) {
+        uint32_t v = image.unitCrcs[i];
+        seg.bytes[i * 4] = static_cast<uint8_t>(v);
+        seg.bytes[i * 4 + 1] = static_cast<uint8_t>(v >> 8);
+        seg.bytes[i * 4 + 2] = static_cast<uint8_t>(v >> 16);
+        seg.bytes[i * 4 + 3] = static_cast<uint8_t>(v >> 24);
+    }
+    image.segments.push_back(std::move(seg));
+}
+
+void
+syncCrcsFromSegment(CompressedImage &image)
+{
+    const CompressedSegment *seg = image.segment(".crc");
+    if (!seg)
+        return;
+    size_t entries = seg->bytes.size() / 4;
+    image.unitCrcs.assign(entries, 0);
+    for (size_t i = 0; i < entries; ++i) {
+        image.unitCrcs[i] =
+            static_cast<uint32_t>(seg->bytes[i * 4]) |
+            static_cast<uint32_t>(seg->bytes[i * 4 + 1]) << 8 |
+            static_cast<uint32_t>(seg->bytes[i * 4 + 2]) << 16 |
+            static_cast<uint32_t>(seg->bytes[i * 4 + 3]) << 24;
+    }
+}
+
+} // namespace rtd::compress

@@ -1,8 +1,11 @@
 #include "core/system.h"
 
+#include <string>
+
 #include "compress/codepack.h"
 #include "compress/huffman.h"
 #include "compress/dictionary.h"
+#include "compress/integrity.h"
 #include "runtime/handlers.h"
 #include "support/bitops.h"
 #include "support/logging.h"
@@ -72,7 +75,89 @@ buildImage(const prog::Program &program, const SystemConfig &config)
       case compress::Scheme::ProcLzrw1:
         break;  // unreachable: handled above
     }
+    if (config.integrity) {
+        // CRC unit = what one decompression fill reconstructs: a
+        // 64-byte group for CodePack, a cache line otherwise.
+        uint32_t unit = config.scheme == compress::Scheme::CodePack
+                            ? 64
+                            : config.cpu.icache.lineBytes;
+        compress::attachIntegrity(built.cimage, words, unit);
+    }
     return built;
+}
+
+std::string
+validateBuiltImage(const BuiltImage &built, const SystemConfig &config)
+{
+    using compress::Scheme;
+    if (config.scheme == Scheme::None ||
+        config.scheme == Scheme::ProcLzrw1 ||
+        built.image.decompText.empty()) {
+        return {};  // no line-granular compressed image to validate
+    }
+    const compress::CompressedImage &ci = built.cimage;
+
+    auto need = [&ci](const char *name,
+                      size_t min_bytes) -> std::string {
+        const compress::CompressedSegment *seg = ci.segment(name);
+        if (!seg)
+            return std::string("missing segment ") + name;
+        if (seg->bytes.size() < min_bytes) {
+            return std::string(name) + " is " +
+                   std::to_string(seg->bytes.size()) +
+                   " bytes, need at least " + std::to_string(min_bytes);
+        }
+        return {};
+    };
+    auto pair_entries = [](uint32_t units) {
+        return 4 * ((units + 1) / 2);  // one u32 per pair of lines/groups
+    };
+
+    std::string err;
+    switch (config.scheme) {
+      case Scheme::Dictionary:
+        // One 16-bit index per instruction word, word-sized entries.
+        err = need(".indices", built.paddedRegionBytes / 2);
+        if (err.empty())
+            err = need(".dictionary", 4);
+        if (err.empty() &&
+            ci.segment(".dictionary")->bytes.size() % 4 != 0) {
+            err = ".dictionary is not a whole number of words";
+        }
+        break;
+      case Scheme::CodePack: {
+        uint32_t groups = built.paddedRegionBytes / 64;
+        err = need(".codewords", 1);
+        if (err.empty())
+            err = need(".map", pair_entries(groups));
+        if (err.empty())
+            err = need(".highdict", 2);
+        if (err.empty())
+            err = need(".lowdict", 2);
+        break;
+      }
+      case Scheme::HuffmanLine: {
+        uint32_t lines =
+            built.paddedRegionBytes / config.cpu.icache.lineBytes;
+        err = need(".huffstream", 1);
+        if (err.empty())
+            err = need(".hufflat", pair_entries(lines));
+        if (err.empty())
+            err = need(".hufftab", 272);  // 16 counts + 256 symbols
+        break;
+      }
+      default:
+        break;
+    }
+    if (!err.empty())
+        return "corrupt compressed image: " + err;
+    if (ci.c0[isa::C0DecompBase] != built.image.decompBase) {
+        return "corrupt compressed image: c0 decompressed base " +
+               std::to_string(ci.c0[isa::C0DecompBase]) +
+               " does not match the linked region base " +
+               std::to_string(built.image.decompBase);
+    }
+    return {};
 }
 
 System::System(const prog::Program &program, const SystemConfig &config)
@@ -103,9 +188,30 @@ System::System(std::shared_ptr<const BuiltImage> built,
                            image.data.size());
     }
 
-    cpu_ = std::make_unique<cpu::Cpu>(config.cpu, memory_, image);
+    bool line_scheme = config_.scheme != compress::Scheme::None &&
+                       config_.scheme != compress::Scheme::ProcLzrw1 &&
+                       !image.decompText.empty();
+    if (line_scheme) {
+        // Reject malformed images with a diagnostic before anything
+        // downstream (handler, caches) can trip an assert on them.
+        std::string diag = validateBuiltImage(*built_, config_);
+        if (!diag.empty())
+            throw SimError(diag);
+    }
+    // Fault plans corrupt a private copy of the shared compressed image;
+    // the ground-truth decompression self-check must be off for those
+    // runs (detecting the corruption is the Cpu fault path's job).
+    const compress::CompressedImage *cimage = &built_->cimage;
+    if (line_scheme && config_.fault.enabled()) {
+        config_.cpu.verifyDecompression = false;
+        faultedImage_ = built_->cimage;
+        faultReports_ = fault::injectAll(faultedImage_, config_.fault);
+        cimage = &faultedImage_;
+    }
 
-    if (config.scheme == compress::Scheme::ProcLzrw1) {
+    cpu_ = std::make_unique<cpu::Cpu>(config_.cpu, memory_, image);
+
+    if (config_.scheme == compress::Scheme::ProcLzrw1) {
         // Procedure-based baseline: whole program compressed
         // per-procedure; no selective hybrid form.
         RTDC_ASSERT(image.nativeText.empty(),
@@ -118,23 +224,21 @@ System::System(std::shared_ptr<const BuiltImage> built,
         }
         procHandler_ = proccache::buildLzrw1Handler();
         cpu_->attachProcDecompressor(pimage_, procHandler_,
-                                     config.procCache);
-    } else if (config.scheme != compress::Scheme::None &&
-               !image.decompText.empty()) {
-        for (const compress::CompressedSegment &seg :
-             built_->cimage.segments) {
+                                     config_.procCache);
+    } else if (line_scheme) {
+        for (const compress::CompressedSegment &seg : cimage->segments) {
             memory_.writeBlock(seg.base, seg.bytes.data(),
                                seg.bytes.size());
         }
 
         runtime::HandlerBuild handler = runtime::buildHandler(
-            config.scheme, config.secondRegFile,
-            config.cpu.icache.lineBytes);
-        cpu_->attachDecompressor(built_->cimage, handler,
+            config_.scheme, config_.secondRegFile,
+            config_.cpu.icache.lineBytes);
+        cpu_->attachDecompressor(*cimage, handler,
                                  built_->paddedRegionBytes);
     }
 
-    if (config.profiling)
+    if (config_.profiling)
         cpu_->enableProfiling();
 }
 
@@ -157,6 +261,7 @@ System::run()
             ? pimage_.compressedBytes()
             : built_->cimage.compressedBytes();
     result.nativeRegionBytes = image.nativeTextBytes();
+    result.faultReports = faultReports_;
     if (config_.profiling) {
         result.profile = profile::remapProfile(
             image, cpu_->procExecInsns(), cpu_->procMisses(),

@@ -21,10 +21,12 @@
 #define RTDC_CORE_SYSTEM_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "compress/compressed_image.h"
 #include "cpu/cpu.h"
+#include "fault/fault.h"
 #include "mem/main_memory.h"
 #include "proccache/proc_image.h"
 #include "profile/profile.h"
@@ -53,6 +55,22 @@ struct SystemConfig
     bool profiling = false;  ///< collect per-procedure exec/miss counts
     /** Procedure-cache parameters (Scheme::ProcLzrw1 only). */
     proccache::ProcCacheConfig procCache;
+    /**
+     * Emit per-unit CRC-32 integrity metadata with the compressed image
+     * (DESIGN.md section 12): the Cpu re-checks every decompressed unit
+     * and raises an IntegrityFail machine check on mismatch. Off by
+     * default — results and image layout are byte-identical to builds
+     * that predate the fault subsystem when disabled.
+     */
+    bool integrity = false;
+    /**
+     * Fault-injection plans applied to this System's private copy of the
+     * compressed image (src/fault/). Non-empty plans disable
+     * cpu.verifyDecompression (the ground-truth self-check would panic
+     * on the corruption the run is meant to study) and surface a
+     * FaultReport per plan in SystemResult::faultReports.
+     */
+    fault::FaultConfig fault;
 };
 
 /** Everything a System run produces. */
@@ -66,6 +84,9 @@ struct SystemResult
 
     /** Per-procedure profile (Program order); filled when profiling. */
     profile::ProcedureProfile profile;
+
+    /** What the fault injector did (one report per configured plan). */
+    std::vector<fault::FaultReport> faultReports;
 
     /**
      * The paper's compression ratio (Eq. 1): compressed size / original
@@ -95,12 +116,23 @@ struct BuiltImage
 /**
  * Link @p program and compress its compressed region as System's
  * constructor would. Reads only config.scheme, config.regions,
- * config.order and (for Scheme::HuffmanLine) config.cpu.icache.lineBytes
- * — the rest of the configuration can vary freely across Systems that
- * share the result.
+ * config.order, config.integrity and (for Scheme::HuffmanLine /
+ * integrity) config.cpu.icache.lineBytes — the rest of the
+ * configuration can vary freely across Systems that share the result.
  */
 BuiltImage buildImage(const prog::Program &program,
                       const SystemConfig &config);
+
+/**
+ * Structural validation of a (possibly externally supplied or corrupted)
+ * BuiltImage against @p config before a System is constructed around it:
+ * required segments present and plausibly sized, c0 registers consistent
+ * with the image layout. Returns an empty string when the image is
+ * well-formed, else a diagnostic; System's constructor throws SimError
+ * with that diagnostic instead of asserting deep inside the simulator.
+ */
+std::string validateBuiltImage(const BuiltImage &built,
+                               const SystemConfig &config);
 
 /** One runnable simulation instance. */
 class System
@@ -145,6 +177,9 @@ class System
     mem::MainMemory memory_;
     proccache::ProcCompressedImage pimage_;
     runtime::HandlerBuild procHandler_;
+    /** Private corrupted copy of built_->cimage (fault plans only). */
+    compress::CompressedImage faultedImage_;
+    std::vector<fault::FaultReport> faultReports_;
     std::unique_ptr<cpu::Cpu> cpu_;
 };
 

@@ -7,10 +7,28 @@
 #include "isa/decode.h"
 #include "isa/disasm.h"
 #include "support/bitops.h"
+#include "support/crc32.h"
 #include "support/logging.h"
 #include "support/stats.h"
 
 namespace rtd::cpu {
+
+const char *
+mcKindName(McKind kind)
+{
+    switch (kind) {
+      case McKind::None:               return "none";
+      case McKind::InvalidInst:        return "invalid-inst";
+      case McKind::MisalignedFetch:    return "misaligned-fetch";
+      case McKind::MisalignedData:     return "misaligned-data";
+      case McKind::PrivilegedOp:       return "privileged-op";
+      case McKind::SwicRange:          return "swic-range";
+      case McKind::HandlerRunaway:     return "handler-runaway";
+      case McKind::LineFillIncomplete: return "line-fill-incomplete";
+      case McKind::IntegrityFail:      return "integrity-fail";
+    }
+    return "?";
+}
 
 using isa::Instruction;
 using isa::Op;
@@ -167,7 +185,67 @@ Cpu::attachDecompressor(const compress::CompressedImage &cimage,
         c0_[i] = cimage.c0[i];
     compressedLo_ = image_.decompBase;
     compressedHi_ = image_.decompBase + region_bytes;
+    integrityUnitBytes_ = cimage.crcUnitBytes;
+    unitCrcs_ = cimage.unitCrcs;
     decompressorAttached_ = true;
+}
+
+void
+Cpu::raiseMc(McKind kind, uint32_t addr, bool handler)
+{
+    if (handler) {
+        // Latched, first fault wins; surfaced (and counted) by the
+        // servicing boundary so a retried fill counts once per attempt.
+        if (pendingFault_ == McKind::None) {
+            pendingFault_ = kind;
+            pendingFaultAddr_ = addr;
+        }
+        return;
+    }
+    if (stats_.machineCheckHalt)
+        return;
+    ++stats_.machineChecks;
+    stats_.machineCheckHalt = true;
+    stats_.faultKind = kind;
+    stats_.faultAddr = addr;
+}
+
+bool
+Cpu::cancelPoll()
+{
+    if (!config_.cancel)
+        return false;
+    if ((++cancelTick_ & 0xFFFu) != 0)
+        return false;
+    if (!config_.cancel->load(std::memory_order_relaxed))
+        return false;
+    stats_.cancelled = true;
+    return true;
+}
+
+McKind
+Cpu::checkIntegrity(uint32_t addr)
+{
+    if (unitCrcs_.empty())
+        return McKind::None;
+    uint32_t unit = integrityUnitBytes_;
+    uint32_t base = addr & ~(unit - 1);
+    uint32_t end = std::min(base + unit, compressedHi_);
+    // The CRC covers the whole unit; only check once every line of it
+    // is resident (the CodePack handler installs both lines of a group,
+    // so in practice the unit containing the miss is always complete).
+    for (uint32_t a = base; a < end; a += config_.icache.lineBytes) {
+        if (!icache_.probe(a))
+            return McKind::LineFillIncomplete;
+    }
+    size_t idx = (base - compressedLo_) / unit;
+    if (idx >= unitCrcs_.size())
+        return McKind::IntegrityFail;
+    Crc32 crc;
+    for (uint32_t a = base; a < end; a += 4)
+        crc.updateWord(icache_.read32(a));
+    return crc.value() == unitCrcs_[idx] ? McKind::None
+                                         : McKind::IntegrityFail;
 }
 
 void
@@ -243,13 +321,17 @@ Cpu::run()
     } else {
         while (true) {
             step();
-            if (stats_.halted)
+            if (stats_.halted || stats_.machineCheckHalt ||
+                stats_.cancelled) {
                 break;
+            }
             if (config_.maxUserInsns &&
                 stats_.userInsns >= config_.maxUserInsns) {
                 stats_.timedOut = true;
                 break;
             }
+            if (cancelPoll())
+                break;
         }
     }
     // Fold component statistics in.
@@ -270,10 +352,13 @@ Cpu::ensureProcResident(uint32_t pc)
         return;
     int32_t proc = image_.procAt(pc);
     RTDC_ASSERT(proc >= 0, "fetch outside any procedure: 0x%08x", pc);
-    if (!procMgr_->resident(proc))
+    if (!procMgr_->resident(proc)) {
         procFault(pc, proc);
-    else
+        if (stats_.machineCheckHalt || stats_.cancelled)
+            return;
+    } else {
         procMgr_->touch(proc);
+    }
     procCurLo_ = image_.procs[proc].base;
     procCurHi_ = procCurLo_ + image_.procs[proc].size;
 }
@@ -319,8 +404,20 @@ Cpu::procFault(uint32_t addr, int32_t proc)
     c0_[isa::C0Scratch0] = entry.streamAddr;
     c0_[isa::C0Scratch1] = entry.vaBase;
     c0_[isa::C0MapBase] = entry.origBytes;
-    runHandler(addr);
+    McKind fault = runHandler(addr);
     stats_.procDecompressedBytes += entry.origBytes;
+    if (stats_.cancelled)
+        return;
+    if (fault != McKind::None) {
+        // Whole-procedure fills are not retried (the procedure cache is
+        // the paper's comparison baseline, not the hardened mechanism):
+        // halt with the diagnostic.
+        ++stats_.machineChecks;
+        stats_.machineCheckHalt = true;
+        stats_.faultKind = fault;
+        stats_.faultAddr = pendingFaultAddr_;
+        return;
+    }
 
     // Coherence flush: the handler wrote code through the D-cache; the
     // I-side fetches from memory, so write the dirty lines back...
@@ -363,15 +460,42 @@ Cpu::serviceUserMiss()
     if (decompressorAttached_ && pc_ >= compressedLo_ &&
         pc_ < compressedHi_) {
         // Software-managed miss: flush the pipeline (swic requires a
-        // non-speculative state) and run the decompressor.
+        // non-speculative state) and run the decompressor. A machine
+        // check during the fill (handler fault, unfilled line, CRC
+        // mismatch) invalidates the unit and retries up to mcRetryLimit
+        // times, then halts with the diagnostic.
         ++stats_.compressedMisses;
-        ++stats_.exceptions;
-        stats_.cycles += config_.exceptionEntryPenalty;
-        runHandler(pc_);
-        stats_.cycles += config_.exceptionReturnPenalty;
-        RTDC_ASSERT(icache_.probe(pc_),
-                    "decompressor did not fill the missed line "
-                    "0x%08x", pc_);
+        unsigned attempt = 0;
+        while (true) {
+            ++stats_.exceptions;
+            stats_.cycles += config_.exceptionEntryPenalty;
+            McKind fault = runHandler(pc_);
+            stats_.cycles += config_.exceptionReturnPenalty;
+            if (stats_.cancelled)
+                return;
+            uint32_t faddr =
+                fault != McKind::None ? pendingFaultAddr_ : pc_;
+            if (fault == McKind::None && !icache_.probe(pc_))
+                fault = McKind::LineFillIncomplete;
+            if (fault == McKind::None)
+                fault = checkIntegrity(pc_);
+            if (fault == McKind::None)
+                return;
+            ++stats_.machineChecks;
+            // Drop whatever the failed fill installed.
+            uint32_t unit = integrityUnitBytes_
+                                ? integrityUnitBytes_
+                                : config_.icache.lineBytes;
+            icache_.invalidateRange(pc_ & ~(unit - 1), unit);
+            if (attempt++ < config_.mcRetryLimit) {
+                ++stats_.integrityRetries;
+                continue;
+            }
+            stats_.machineCheckHalt = true;
+            stats_.faultKind = fault;
+            stats_.faultAddr = faddr;
+            return;
+        }
     } else {
         // Hardware fill from main memory.
         ++stats_.nativeMisses;
@@ -387,8 +511,22 @@ Cpu::serviceUserMiss()
 const isa::DecodedInst &
 Cpu::fetchUser()
 {
-    if (procMgr_)
+    // A stopped run (machine check, cancellation, misaligned pc) hands
+    // back a scratch nop: the callers check the stop flags before using
+    // it, and the caches never see the bad access.
+    auto stopped = [this]() -> const isa::DecodedInst & {
+        fetchScratch_ = isa::predecode(isa::nopWord());
+        return fetchScratch_;
+    };
+    if ((pc_ & 3) != 0) [[unlikely]] {
+        raiseMc(McKind::MisalignedFetch, pc_, false);
+        return stopped();
+    }
+    if (procMgr_) {
         ensureProcResident(pc_);
+        if (stats_.machineCheckHalt || stats_.cancelled)
+            return stopped();
+    }
     ++stats_.icacheAccesses;
     if (config_.predecode) {
         // Fast path: one tag lookup returns the line's decoded entry;
@@ -396,11 +534,15 @@ Cpu::fetchUser()
         if (const isa::DecodedInst *d = icache_.accessFetch(pc_))
             return *d;
         serviceUserMiss();
+        if (stats_.machineCheckHalt || stats_.cancelled)
+            return stopped();
         return icache_.decodedAt(pc_);
     }
     uint32_t word;
     if (!icache_.accessRead(pc_, word)) {
         serviceUserMiss();
+        if (stats_.machineCheckHalt || stats_.cancelled)
+            return stopped();
         word = icache_.read32(pc_);
     }
     fetchScratch_ = isa::predecode(word);
@@ -430,8 +572,11 @@ Cpu::step()
     if (profiling_)
         noteUserPc(pc_);
     const isa::DecodedInst &d = fetchUser();
+    if (stats_.machineCheckHalt || stats_.cancelled)
+        return;
     if (!d.inst.valid()) {
-        fatal("invalid instruction 0x%08x at pc 0x%08x", d.word, pc_);
+        raiseMc(McKind::InvalidInst, pc_, false);
+        return;
     }
 
     accountInterlock(d);
@@ -465,9 +610,15 @@ Cpu::runBlocks()
         // invalidation, keyed against the block). Execution then reads
         // the validated frame's decoded mirror directly — blocks carry
         // accounting, not instruction copies.
+        if ((pc_ & 3) != 0) [[unlikely]] {
+            raiseMc(McKind::MisalignedFetch, pc_, false);
+            break;
+        }
         cache::FetchLine line;
         if (!icache_.accessFetchLine(pc_, line)) {
             serviceUserMiss();
+            if (stats_.machineCheckHalt || stats_.cancelled)
+                break;
             icache_.peekFetchLine(pc_, line);
         }
         uint32_t off_words = (pc_ & line_mask) / 4;
@@ -487,13 +638,15 @@ Cpu::runBlocks()
                 k = remaining;
         }
         executeBlock(b.meta, insts, k);
-        if (stats_.halted)
+        if (stats_.halted || stats_.machineCheckHalt || stats_.cancelled)
             break;
         if (config_.maxUserInsns &&
             stats_.userInsns >= config_.maxUserInsns) {
             stats_.timedOut = true;
             break;
         }
+        if (cancelPoll())
+            break;
     }
 }
 
@@ -502,8 +655,8 @@ Cpu::executeBlock(const isa::BlockMeta &meta,
                   const isa::DecodedInst *insts, uint64_t k)
 {
     if (meta.startsInvalid) {
-        fatal("invalid instruction 0x%08x at pc 0x%08x", insts[0].word,
-              pc_);
+        raiseMc(McKind::InvalidInst, pc_, false);
+        return;
     }
     // Batched fetch accounting: the single dispatch lookup stood in for
     // k per-instruction fetches (each a hit — see runBlocks()).
@@ -540,18 +693,27 @@ Cpu::executeBlock(const isa::BlockMeta &meta,
     uint32_t *regs = regs_.data();
     for (uint64_t i = 0; i < k; ++i) {
         const isa::DecodedInst &d = insts[i];
-        if (executeAlu(d.inst, regs, hi_, lo_))
+        if (executeAlu(d.inst, regs, hi_, lo_)) {
             pc += 4;
-        else
+        } else {
             pc = executeSlow(d, pc, regs, false);
+            if (stats_.machineCheckHalt) [[unlikely]] {
+                // Stop at the faulting instruction; the batched
+                // accounting above already covered the block.
+                pc_ = pc;
+                return;
+            }
+        }
     }
     pc_ = pc;
 }
 
-void
+McKind
 Cpu::runHandler(uint32_t addr)
 {
     RTDC_ASSERT(handlerRam_.loaded(), "miss exception with no handler");
+    pendingFault_ = McKind::None;
+    pendingFaultAddr_ = 0;
     c0_[isa::C0BadVa] = addr;
     c0_[isa::C0Epc] = addr;
 
@@ -561,15 +723,25 @@ Cpu::runHandler(uint32_t addr)
     // handler can spill to the user stack; the RF handlers never use sp.
     uint32_t hpc = handlerRam_.entry();
     const bool predecode = config_.predecode;
+    const uint64_t budget_end =
+        config_.handlerInsnBudget
+            ? stats_.handlerInsns + config_.handlerInsnBudget
+            : 0;
     // Interlock state does not carry across the pipeline flush.
     lastLoadDest_ = 0;
     if (handlerBlocks_) {
-        runHandlerBlocks(hpc, regs);
+        runHandlerBlocks(hpc, regs, budget_end);
         lastLoadDest_ = 0;
         pc_ = c0_[isa::C0Epc];
-        return;
+        return pendingFault_;
     }
     while (true) {
+        // Corrupted tables can steer a computed handler jump out of the
+        // RAM; machine-check it instead of tripping the fetch asserts.
+        if ((hpc & 3) != 0 || !handlerRam_.contains(hpc)) [[unlikely]] {
+            raiseMc(McKind::HandlerRunaway, hpc, true);
+            break;
+        }
         // The handler RAM is immutable after load, so the predecoded
         // path touches no decoder at all in this loop.
         const isa::DecodedInst &d =
@@ -593,19 +765,40 @@ Cpu::runHandler(uint32_t addr)
         if (d.inst.op == Op::Iret)
             break;
         hpc = execute(d, hpc, regs, true);
+        if (pendingFault_ != McKind::None) [[unlikely]]
+            break;
+        if (budget_end && stats_.handlerInsns >= budget_end)
+            [[unlikely]] {
+            raiseMc(McKind::HandlerRunaway, hpc, true);
+            break;
+        }
+        if (cancelPoll()) [[unlikely]]
+            break;
     }
     lastLoadDest_ = 0;
     // Resume at the missed instruction (c0[Epc]).
     pc_ = c0_[isa::C0Epc];
+    return pendingFault_;
 }
 
 uint32_t
-Cpu::runHandlerBlocks(uint32_t hpc, uint32_t *regs)
+Cpu::runHandlerBlocks(uint32_t hpc, uint32_t *regs, uint64_t budget_end)
 {
     // Handler RAM is immutable after load(), so its blocks were scanned
     // once there and need no residency or generation checks: dispatch
     // is an array read plus one batched stats add per block.
     while (true) {
+        if ((hpc & 3) != 0 || !handlerRam_.contains(hpc)) [[unlikely]] {
+            raiseMc(McKind::HandlerRunaway, hpc, true);
+            return hpc;
+        }
+        if (budget_end && stats_.handlerInsns >= budget_end)
+            [[unlikely]] {
+            raiseMc(McKind::HandlerRunaway, hpc, true);
+            return hpc;
+        }
+        if (cancelPoll()) [[unlikely]]
+            return hpc;
         const isa::DecodedInst *insts;
         const isa::BlockMeta &m = handlerRam_.blockAt(hpc, insts);
         RTDC_ASSERT(!m.startsInvalid,
@@ -632,10 +825,13 @@ Cpu::runHandlerBlocks(uint32_t hpc, uint32_t *regs)
             // executed, exactly as the per-instruction loop breaks.
             if (d.inst.op == Op::Iret)
                 return pc;
-            if (executeAlu(d.inst, regs, hi_, lo_))
+            if (executeAlu(d.inst, regs, hi_, lo_)) {
                 pc += 4;
-            else
+            } else {
                 pc = executeSlow(d, pc, regs, true);
+                if (pendingFault_ != McKind::None) [[unlikely]]
+                    return pc;
+            }
         }
         hpc = pc;
     }
@@ -801,6 +997,16 @@ Cpu::executeSlow(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
         if (taken)
             next = pc + 4 + (static_cast<uint32_t>(simm) << 2);
     };
+    // Natural-alignment check for loads/stores: corrupted code (or a
+    // handler fed corrupted tables) computes wild addresses; misaligned
+    // ones become a machine check instead of tripping cache asserts.
+    auto aligned = [&](uint32_t addr, unsigned bytes) {
+        if ((addr & (bytes - 1)) != 0) [[unlikely]] {
+            raiseMc(McKind::MisalignedData, addr, handler);
+            return false;
+        }
+        return true;
+    };
 
     switch (inst.op) {
       case Op::J:
@@ -837,49 +1043,83 @@ Cpu::executeSlow(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
         wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 1, false,
                        handler));
         break;
-      case Op::Lh:
-        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 2, true,
-                       handler));
+      case Op::Lh: {
+        uint32_t addr = rs() + static_cast<uint32_t>(simm);
+        if (aligned(addr, 2))
+            wr_rt(loadData(addr, 2, true, handler));
         break;
-      case Op::Lhu:
-        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 2, false,
-                       handler));
+      }
+      case Op::Lhu: {
+        uint32_t addr = rs() + static_cast<uint32_t>(simm);
+        if (aligned(addr, 2))
+            wr_rt(loadData(addr, 2, false, handler));
         break;
-      case Op::Lw:
-        wr_rt(loadData(rs() + static_cast<uint32_t>(simm), 4, false,
-                       handler));
+      }
+      case Op::Lw: {
+        uint32_t addr = rs() + static_cast<uint32_t>(simm);
+        if (aligned(addr, 4))
+            wr_rt(loadData(addr, 4, false, handler));
         break;
-      case Op::Lwx:
-        wr_rd(loadData(rs() + rt(), 4, false, handler));
+      }
+      case Op::Lwx: {
+        uint32_t addr = rs() + rt();
+        if (aligned(addr, 4))
+            wr_rd(loadData(addr, 4, false, handler));
         break;
+      }
       case Op::Sb:
         storeData(rs() + static_cast<uint32_t>(simm), rt(), 1, handler);
         break;
-      case Op::Sh:
-        storeData(rs() + static_cast<uint32_t>(simm), rt(), 2, handler);
+      case Op::Sh: {
+        uint32_t addr = rs() + static_cast<uint32_t>(simm);
+        if (aligned(addr, 2))
+            storeData(addr, rt(), 2, handler);
         break;
-      case Op::Sw:
-        storeData(rs() + static_cast<uint32_t>(simm), rt(), 4, handler);
+      }
+      case Op::Sw: {
+        uint32_t addr = rs() + static_cast<uint32_t>(simm);
+        if (aligned(addr, 4))
+            storeData(addr, rt(), 4, handler);
         break;
+      }
 
       case Op::Swic: {
         uint32_t addr = rs() + static_cast<uint32_t>(simm);
+        // Hardened output cursor: the install address must be word
+        // aligned, and a decompression handler may only install lines
+        // of the compressed region it services (a corrupted index
+        // would otherwise overwrite unrelated cached code).
+        if ((addr & 3) != 0 ||
+            (handler && (!decompressorAttached_ ||
+                         addr < compressedLo_ ||
+                         addr >= compressedHi_))) [[unlikely]] {
+            raiseMc(McKind::SwicRange, addr, handler);
+            break;
+        }
         if (handler && config_.verifyDecompression)
             verifySwic(addr, rt());
         icache_.swicWrite(addr, rt());
         break;
       }
       case Op::Mfc0:
-        RTDC_ASSERT(inst.rd < isa::numC0Regs, "mfc0 of c0[%u]", inst.rd);
+        if (inst.rd >= isa::numC0Regs) [[unlikely]] {
+            raiseMc(McKind::PrivilegedOp, pc, handler);
+            break;
+        }
         wr_rt(c0_[inst.rd]);
         break;
       case Op::Mtc0:
-        RTDC_ASSERT(inst.rd < isa::numC0Regs, "mtc0 of c0[%u]", inst.rd);
+        if (inst.rd >= isa::numC0Regs) [[unlikely]] {
+            raiseMc(McKind::PrivilegedOp, pc, handler);
+            break;
+        }
         c0_[inst.rd] = rt();
         break;
       case Op::Iret:
-        RTDC_ASSERT(handler, "iret outside the exception handler");
-        break;  // handled by runHandler's loop
+        // Reached only from user context (the handler loops break on
+        // iret before executing it): corrupted code, machine-check it.
+        raiseMc(McKind::PrivilegedOp, pc, handler);
+        break;
 
       case Op::Syscall:
       case Op::Break:

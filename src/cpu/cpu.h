@@ -25,6 +25,7 @@
 #define RTDC_CPU_CPU_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -44,6 +45,27 @@
 #include "runtime/handlers.h"
 
 namespace rtd::cpu {
+
+/**
+ * Machine-check causes (DESIGN.md section 12). A machine check is the
+ * structured "this program's code image is corrupt" outcome: instead of
+ * crashing the simulator, the Cpu stops (or retries the line fill, see
+ * CpuConfig::mcRetryLimit) and reports the cause in RunStats.
+ */
+enum class McKind : uint8_t
+{
+    None,
+    InvalidInst,        ///< fetched word does not decode
+    MisalignedFetch,    ///< pc not word-aligned
+    MisalignedData,     ///< load/store not naturally aligned
+    PrivilegedOp,      ///< bad c0 index, or iret outside the handler
+    SwicRange,          ///< swic outside the compressed region/misaligned
+    HandlerRunaway,     ///< handler exceeded its instruction budget
+    LineFillIncomplete, ///< handler returned without filling the line
+    IntegrityFail,      ///< decompressed unit failed its CRC-32 check
+};
+
+const char *mcKindName(McKind kind);
 
 /** Machine configuration (defaults = the paper's Table 1). */
 struct CpuConfig
@@ -91,6 +113,31 @@ struct CpuConfig
     /** Print a disassembled trace of the first @p traceInsns
      *  instructions (user + handler) to stderr; 0 disables. */
     uint64_t traceInsns = 0;
+
+    /// @name Fault tolerance (DESIGN.md section 12; all off by default)
+    /// @{
+    /**
+     * On a machine check during a decompression line fill, invalidate
+     * the affected lines and retry the fill up to this many times
+     * before halting with a diagnostic (RunStats::machineCheckHalt).
+     * Retries recover from transient faults; persistent image
+     * corruption deterministically re-fails and halts.
+     */
+    unsigned mcRetryLimit = 0;
+    /**
+     * Handler instruction budget per exception; exceeding it raises a
+     * HandlerRunaway machine check. Protects against corrupted decode
+     * tables sending a bit-serial handler loop into an unbounded walk.
+     * 0 = unlimited (trusted image).
+     */
+    uint64_t handlerInsnBudget = 0;
+    /**
+     * Cooperative cancellation: when non-null and set, run() stops at
+     * the next poll point with RunStats::cancelled. Lets a sweep
+     * harness watchdog stop a wedged job without killing the process.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /// @}
 };
 
 /** Everything a run produces. */
@@ -120,6 +167,16 @@ struct RunStats
     uint64_t procEvictions = 0;
     uint64_t procCompactedBytes = 0;
     uint64_t procDecompressedBytes = 0;
+    /// @}
+
+    /// @name Fault detection and recovery (DESIGN.md section 12)
+    /// @{
+    uint64_t machineChecks = 0;    ///< detected corruption events
+    uint64_t integrityRetries = 0; ///< line fills retried after a check
+    bool machineCheckHalt = false; ///< stopped by an unrecovered check
+    bool cancelled = false;        ///< stopped by CpuConfig::cancel
+    McKind faultKind = McKind::None; ///< cause of machineCheckHalt
+    uint32_t faultAddr = 0;        ///< faulting address (pc or data)
     /// @}
 
     bool halted = false;     ///< program executed halt
@@ -227,8 +284,10 @@ class Cpu
      */
     void executeBlock(const isa::BlockMeta &meta,
                       const isa::DecodedInst *insts, uint64_t k);
-    /** runHandler()'s dispatch loop over the handler RAM's blocks. */
-    uint32_t runHandlerBlocks(uint32_t hpc, uint32_t *regs);
+    /** runHandler()'s dispatch loop over the handler RAM's blocks.
+     *  @param budget_end handlerInsns bound (0 = unlimited). */
+    uint32_t runHandlerBlocks(uint32_t hpc, uint32_t *regs,
+                              uint64_t budget_end);
     /**
      * Fetch the (pre)decoded instruction at pc_, servicing any miss.
      * The reference points into the I-cache's decoded store (predecode
@@ -238,8 +297,11 @@ class Cpu
     const isa::DecodedInst &fetchUser();
     /** Service a user I-miss at pc_ (decompressor or hardware fill). */
     void serviceUserMiss();
-    /** Run the decompression exception handler for a miss at @p addr. */
-    void runHandler(uint32_t addr);
+    /**
+     * Run the decompression exception handler for a miss at @p addr.
+     * @return the first machine check the handler raised (None = clean).
+     */
+    McKind runHandler(uint32_t addr);
     /**
      * Procedure-cache path: ensure the procedure containing @p pc is
      * resident, running the whole-procedure fault flow when not.
@@ -279,6 +341,23 @@ class Cpu
     void verifySwic(uint32_t addr, uint32_t word) const;
     /** Track current procedure for profiling. */
     void noteUserPc(uint32_t pc);
+    /**
+     * Raise a machine check. In handler context the fault is latched
+     * (first one wins) and surfaced by runHandler(); in user context it
+     * halts the run immediately with a diagnostic RunStats.
+     */
+    void raiseMc(McKind kind, uint32_t addr, bool handler);
+    /**
+     * CRC-32 check of the decompressed integrity unit containing
+     * @p addr against the attached image's unitCrcs (None when the
+     * image carries no integrity metadata). Models the hardened
+     * handler's epilogue check at zero simulated cost (the cost
+     * question belongs to the compression-ratio/CPI trade-off study,
+     * not the fault model; see DESIGN.md section 12).
+     */
+    McKind checkIntegrity(uint32_t addr);
+    /** Poll CpuConfig::cancel (rate-limited); true = stop the run. */
+    bool cancelPoll();
 
     uint32_t readReg(const uint32_t *regs, unsigned r) const
     {
@@ -310,6 +389,15 @@ class Cpu
     bool decompressorAttached_ = false;
     uint32_t compressedLo_ = 0;
     uint32_t compressedHi_ = 0;
+
+    // Machine-check state: a fault raised inside the handler is latched
+    // here and handled at the servicing boundary (retry or halt).
+    McKind pendingFault_ = McKind::None;
+    uint32_t pendingFaultAddr_ = 0;
+    uint64_t cancelTick_ = 0;  ///< rate limiter for cancelPoll()
+    // Integrity metadata copied from the attached compressed image.
+    uint32_t integrityUnitBytes_ = 0;
+    std::vector<uint32_t> unitCrcs_;
 
     // Procedure-cache (Kirovski baseline) state.
     const proccache::ProcCompressedImage *procImage_ = nullptr;

@@ -70,6 +70,15 @@ ArtifactCache::imageKey(const workload::WorkloadSpec &spec,
     // line-size sweep into per-line rebuilds.
     if (config.scheme == compress::Scheme::HuffmanLine)
         appendField(key, "line", uint64_t(config.cpu.icache.lineBytes));
+    // Integrity metadata changes the built image (a .crc segment per
+    // unit); keyed only when enabled so pre-existing sweeps keep their
+    // exact keys.
+    if (config.integrity) {
+        appendField(key, "crcunit",
+                    uint64_t(config.scheme == compress::Scheme::CodePack
+                                 ? 64
+                                 : config.cpu.icache.lineBytes));
+    }
     key += "|regions=";
     for (prog::Region region : config.regions)
         key += region == prog::Region::Native ? 'N' : 'C';

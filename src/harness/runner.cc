@@ -2,11 +2,17 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <mutex>
+#include <optional>
+#include <thread>
 
 #include "harness/thread_pool.h"
+#include "support/logging.h"
 
 namespace rtd::harness {
 
@@ -18,6 +24,88 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Per-attempt wall-clock watchdog: sets the job's cancellation flag
+ * (polled by the Cpu, see CpuConfig::cancel) once the deadline passes.
+ * Destruction disarms and joins, so a finished attempt never leaks a
+ * timer into the next one.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(double seconds, std::atomic<bool> &flag)
+    {
+        thread_ = std::thread([this, seconds, &flag] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            bool disarmed = cv_.wait_for(
+                lock, std::chrono::duration<double>(seconds),
+                [this] { return disarmed_; });
+            if (!disarmed)
+                flag.store(true, std::memory_order_relaxed);
+        });
+    }
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            disarmed_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool disarmed_ = false;
+    std::thread thread_;
+};
+
+/**
+ * Run one attempt of @p job. Never throws and never terminates the
+ * process: fatal()/panic()/RTDC_ASSERT anywhere in the generate → build
+ * → simulate pipeline are converted to SimError by the ScopedErrorTrap
+ * and reported as a structured failure, so one poisoned job cannot take
+ * down its sweep siblings.
+ */
+void
+runAttempt(const Job &job, ArtifactCache &cache, JobResult &out)
+{
+    out.ok = true;
+    out.timedOut = false;
+    out.error.clear();
+    std::atomic<bool> cancel{false};
+    try {
+        ScopedErrorTrap trap;
+        std::optional<Watchdog> watchdog;
+        if (job.timeoutSeconds > 0)
+            watchdog.emplace(job.timeoutSeconds, cancel);
+        std::shared_ptr<const core::BuiltImage> built =
+            cache.builtImage(job.workload, job.config);
+        core::SystemConfig config = job.config;
+        if (job.timeoutSeconds > 0)
+            config.cpu.cancel = &cancel;
+        core::System system(built, config);
+        out.result = system.run();
+        if (out.result.stats.cancelled) {
+            out.ok = false;
+            out.timedOut = true;
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "timed out after %.3gs",
+                          job.timeoutSeconds);
+            out.error = buf;
+        }
+    } catch (const std::exception &e) {
+        out.ok = false;
+        out.result = core::SystemResult{};
+        out.error = e.what();
+    }
 }
 
 } // namespace
@@ -47,14 +135,29 @@ SweepRunner::run(const std::string &label, const std::vector<Job> &jobs,
             pool.submit([&, i] {
                 Clock::time_point job_start = Clock::now();
                 const Job &job = jobs[i];
-                std::shared_ptr<const core::BuiltImage> built =
-                    cache.builtImage(job.workload, job.config);
-                core::System system(built, job.config);
-                results[i].result = system.run();
-                results[i].wallSeconds = secondsSince(job_start);
+                JobResult &out = results[i];
+                unsigned max_attempts = std::max(1u, job.maxAttempts);
+                for (unsigned attempt = 1; attempt <= max_attempts;
+                     ++attempt) {
+                    out.attempts = attempt;
+                    runAttempt(job, cache, out);
+                    if (out.ok || attempt == max_attempts)
+                        break;
+                    if (job.backoffSeconds > 0) {
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double>(
+                                job.backoffSeconds * attempt));
+                    }
+                }
+                out.wallSeconds = secondsSince(job_start);
 
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 ++completed;
+                if (!out.ok) {
+                    std::fprintf(stderr, "[%s] job %s failed: %s\n",
+                                 label.c_str(), job.tag.c_str(),
+                                 out.error.c_str());
+                }
                 if (interactive &&
                     secondsSince(last_report) >= 0.5) {
                     last_report = Clock::now();

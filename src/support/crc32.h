@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used for the
+ * optional per-line/per-group integrity metadata of compressed images
+ * (DESIGN.md section 12). Dependency-free and table-driven; the table is
+ * built once on first use.
+ */
+
+#ifndef RTDC_SUPPORT_CRC32_H
+#define RTDC_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rtd {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+            t[i] = crc;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** Incremental CRC-32 over a byte stream. */
+class Crc32
+{
+  public:
+    void
+    update(uint8_t byte)
+    {
+        state_ = (state_ >> 8) ^
+                 detail::crc32Table()[(state_ ^ byte) & 0xffu];
+    }
+
+    void
+    update(const uint8_t *data, size_t size)
+    {
+        for (size_t i = 0; i < size; ++i)
+            update(data[i]);
+    }
+
+    /** Feed one 32-bit word as its four little-endian bytes. */
+    void
+    updateWord(uint32_t word)
+    {
+        update(static_cast<uint8_t>(word));
+        update(static_cast<uint8_t>(word >> 8));
+        update(static_cast<uint8_t>(word >> 16));
+        update(static_cast<uint8_t>(word >> 24));
+    }
+
+    uint32_t value() const { return ~state_; }
+
+  private:
+    uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/** One-shot CRC-32 of a byte buffer. */
+inline uint32_t
+crc32(const uint8_t *data, size_t size)
+{
+    Crc32 crc;
+    crc.update(data, size);
+    return crc.value();
+}
+
+} // namespace rtd
+
+#endif // RTDC_SUPPORT_CRC32_H

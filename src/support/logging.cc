@@ -10,6 +10,9 @@ namespace {
 
 bool informEnabled = true;
 
+/** Per-thread ScopedErrorTrap nesting depth. */
+thread_local int errorTrapDepth = 0;
+
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
@@ -18,13 +21,48 @@ vreport(const char *tag, const char *fmt, va_list args)
     std::fprintf(stderr, "\n");
 }
 
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n <= 0)
+        return "";
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
 } // namespace
+
+ScopedErrorTrap::ScopedErrorTrap()
+{
+    ++errorTrapDepth;
+}
+
+ScopedErrorTrap::~ScopedErrorTrap()
+{
+    --errorTrapDepth;
+}
+
+bool
+ScopedErrorTrap::active()
+{
+    return errorTrapDepth > 0;
+}
 
 void
 panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
+    if (errorTrapDepth > 0) {
+        std::string msg = vformat(fmt, args);
+        va_end(args);
+        throw SimError("panic: " + msg);
+    }
     vreport("panic", fmt, args);
     va_end(args);
     std::abort();
@@ -35,6 +73,11 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
+    if (errorTrapDepth > 0) {
+        std::string msg = vformat(fmt, args);
+        va_end(args);
+        throw SimError("fatal: " + msg);
+    }
     vreport("fatal", fmt, args);
     va_end(args);
     std::exit(1);

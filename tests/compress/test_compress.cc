@@ -56,6 +56,53 @@ TEST(BitStream, MsbFirstWithinBytes)
     EXPECT_EQ(bytes[0], 0x80u);
 }
 
+TEST(BitStream, PastEndReadsZeroAndSetOverrun)
+{
+    // Truncated streams must decode deterministically (zeros) and flag
+    // the damage — not read out of bounds.
+    uint8_t byte = 0xff;
+    BitReader br(&byte, 1);
+    EXPECT_EQ(br.get(8), 0xffu);
+    EXPECT_TRUE(br.ok());
+    EXPECT_EQ(br.get(4), 0u);  // entirely past the end
+    EXPECT_TRUE(br.overrun());
+    EXPECT_FALSE(br.ok());
+}
+
+TEST(BitStream, OverrunFlagIsSticky)
+{
+    uint8_t bytes[2] = {0xaa, 0x55};
+    BitReader br(bytes, 1);  // pretend the second byte was cut off
+    EXPECT_EQ(br.get(12), 0xaa0u);  // 8 real bits + 4 zeros
+    EXPECT_TRUE(br.overrun());
+    br.alignByte();
+    EXPECT_EQ(br.get(8), 0u);
+    EXPECT_TRUE(br.overrun());  // still set; flag never clears
+}
+
+TEST(BitStream, EmptyStreamReadsAllZeros)
+{
+    BitReader br(nullptr, 0);
+    EXPECT_TRUE(br.ok());
+    EXPECT_EQ(br.get(32), 0u);
+    EXPECT_TRUE(br.overrun());
+    EXPECT_EQ(br.bitPos(), 32u);
+}
+
+TEST(BitStream, StraddlingReadPartiallyPastEnd)
+{
+    // A read that starts in-bounds and runs off the end returns the real
+    // high bits with zero fill, and trips the flag exactly then.
+    BitWriter bw;
+    bw.put(0b1011, 4);
+    auto bytes = bw.take();  // one byte: 0xB0
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(br.get(6), 0b101100u);
+    EXPECT_TRUE(br.ok());  // bits 4..5 exist in the padded byte
+    EXPECT_EQ(br.get(6), 0b000000u);  // bits 6..7 real, 8..11 overrun
+    EXPECT_TRUE(br.overrun());
+}
+
 TEST(Dictionary, RoundTripSmall)
 {
     std::vector<uint32_t> words = {5, 5, 7, 5, 9, 7};

@@ -411,10 +411,12 @@ TEST(CpuExec, UserModeSwicInstallsExecutableCode)
     EXPECT_EQ(result.stats.resultValue, 123u);
 }
 
-TEST(CpuDeath, InvalidInstructionIsFatal)
+TEST(CpuDeath, InvalidInstructionRaisesMachineCheck)
 {
     // Install an undefined encoding (reserved primary opcode 0x3e) with
-    // a user-mode swic and jump to it: execution must stop loudly.
+    // a user-mode swic and jump to it: execution must stop with a
+    // structured machine-check halt — a diagnosable RunResult, not
+    // process death (DESIGN.md section 12).
     ProcedureBuilder b("main");
     uint32_t target = prog::layout::textBase + 0x8000;
     b.li32(T0, target);
@@ -423,13 +425,14 @@ TEST(CpuDeath, InvalidInstructionIsFatal)
     b.jr(T0);
     b.halt(0);
     Program program = singleProc(b);
-    EXPECT_EXIT(
-        {
-            core::SystemConfig config;
-            core::System system(program, config);
-            system.run();
-        },
-        ::testing::ExitedWithCode(1), "invalid instruction");
+    core::SystemConfig config;
+    core::System system(program, config);
+    core::SystemResult result = system.run();
+    EXPECT_FALSE(result.stats.halted);
+    EXPECT_TRUE(result.stats.machineCheckHalt);
+    EXPECT_EQ(result.stats.faultKind, McKind::InvalidInst);
+    EXPECT_EQ(result.stats.faultAddr, target);
+    EXPECT_EQ(result.stats.machineChecks, 1u);
 }
 
 TEST(CpuExec, RunStatsDerivedMetrics)
