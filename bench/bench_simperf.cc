@@ -25,6 +25,14 @@
  * once per engine, asserts full RunStats identity, and writes nothing:
  * a fast, deterministic guard on the block engine's invalidation paths.
  *
+ * `--observe` times the blocks engine with SystemConfig::observe off
+ * and on over the same BuiltImage, asserts the simulated RunStats are
+ * identical either way, and reports the observation overhead — the
+ * measured cost of the src/obs/ hook sites when someone *is* watching.
+ * (When nobody is, the hooks are one never-taken branch each; the
+ * driver-level before/after guard is the observe-off MIPS this bench
+ * already reports.)
+ *
  * Decompression self-verification (CpuConfig::verifyDecompression) is
  * off for all timed runs: the fetch paths time the simulator, not the
  * simulator's self-checks.
@@ -223,6 +231,47 @@ validateJson(const std::string &path, std::string &error)
     return true;
 }
 
+/**
+ * --observe: time the blocks engine with observation off vs on, assert
+ * the simulated results are identical, report the overhead.
+ */
+int
+runObserve(double scale)
+{
+    prog::Program program = bench::generateBenchmark(
+        workload::paperBenchmark("cc1"), scale);
+    const int reps = 5;
+    for (Scheme scheme : {Scheme::None, Scheme::Dictionary}) {
+        core::SystemConfig config;
+        config.cpu = core::paperMachine();
+        config.cpu.verifyDecompression = false;
+        config.scheme = scheme;
+        auto built = std::make_shared<const core::BuiltImage>(
+            core::buildImage(program, config));
+
+        TimedRun off, on;
+        for (int i = 0; i < reps; ++i) {
+            config.observe.enabled = false;
+            timeOnce(built, config, i == 0, off);
+            config.observe.enabled = true;
+            timeOnce(built, config, i == 0, on);
+        }
+        finishMips(off);
+        finishMips(on);
+        assertParity(on.result.stats, off.result.stats,
+                     compress::schemeName(scheme), "observed");
+        double overhead =
+            off.hostMips > 0.0 && on.hostMips > 0.0
+                ? (off.hostMips / on.hostMips - 1.0) * 100.0
+                : 0.0;
+        std::printf("observe ok: %-10s RunStats identical; host MIPS "
+                    "%7.1f off / %7.1f on (%+.1f%% when watching)\n",
+                    compress::schemeName(scheme), off.hostMips,
+                    on.hostMips, overhead);
+    }
+    return 0;
+}
+
 /** --parity: one run per engine per scheme, full RunStats identity. */
 int
 runParity(double scale)
@@ -262,17 +311,24 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool parity = false;
+    bool observe = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
         else if (std::strcmp(argv[i], "--parity") == 0)
             parity = true;
+        else if (std::strcmp(argv[i], "--observe") == 0)
+            observe = true;
     }
 
     setInformEnabled(false);
     if (parity) {
         std::printf("=== simperf: block-engine parity check ===\n");
         return runParity(bench::announceScale());
+    }
+    if (observe) {
+        std::printf("=== simperf: observation overhead check ===\n");
+        return runObserve(bench::announceScale());
     }
 
     std::printf("=== simperf: host simulation speed (MIPS) ===\n");

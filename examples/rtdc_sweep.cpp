@@ -40,6 +40,8 @@ usage(const char *argv0)
         "  --out FILE    JSON output path (default: BENCH_<sweep>.json)\n"
         "  --csv FILE    also write result rows as CSV\n"
         "  --no-json     skip the JSON output file\n"
+        "  --observe     collect per-job metrics into the JSON under "
+        "\"metrics\" (RTDC_OBSERVE)\n"
         "  --list        list registered sweeps\n",
         argv0);
     std::exit(2);
@@ -88,6 +90,8 @@ main(int argc, char **argv)
             opts.csvPath = next();
         } else if (arg == "--no-json") {
             opts.writeJson = false;
+        } else if (arg == "--observe") {
+            opts.observe = true;
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else if (sweep.empty()) {

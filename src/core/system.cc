@@ -209,6 +209,12 @@ System::System(std::shared_ptr<const BuiltImage> built,
         cimage = &faultedImage_;
     }
 
+    if (config_.observe.enabled) {
+        observer_ = std::make_unique<obs::Observer>(
+            config_.observe, config_.cpu.icache.lineBytes);
+        config_.cpu.observer = observer_.get();
+    }
+
     cpu_ = std::make_unique<cpu::Cpu>(config_.cpu, memory_, image);
 
     if (config_.scheme == compress::Scheme::ProcLzrw1) {
@@ -249,7 +255,13 @@ System::run()
 {
     const prog::LoadedImage &image = built_->image;
     SystemResult result;
+    if (observer_)
+        observer_->jobBegin(image.name, 0);
     result.stats = cpu_->run();
+    if (observer_) {
+        observer_->jobEnd(result.stats.cycles, result.stats.userInsns);
+        result.metrics = observer_->metricsJson();
+    }
     if (result.stats.timedOut) {
         warn("%s: run stopped by maxUserInsns after %llu instructions",
              image.name.c_str(),

@@ -27,7 +27,9 @@
 #include "compress/compressed_image.h"
 #include "cpu/cpu.h"
 #include "fault/fault.h"
+#include "harness/json.h"
 #include "mem/main_memory.h"
+#include "obs/observer.h"
 #include "proccache/proc_image.h"
 #include "profile/profile.h"
 #include "program/linker.h"
@@ -71,6 +73,15 @@ struct SystemConfig
      * FaultReport per plan in SystemResult::faultReports.
      */
     fault::FaultConfig fault;
+    /**
+     * Observability (src/obs/): when enabled the System creates an
+     * obs::Observer, points cpu.observer at it, and fills
+     * SystemResult::metrics after the run. Off by default with the
+     * byte-identical-when-off guarantee the predecode/blocks/fault
+     * subsystems established: stdout, BENCH_*.json and RunStats are
+     * unchanged when disabled.
+     */
+    obs::ObserveConfig observe;
 };
 
 /** Everything a System run produces. */
@@ -87,6 +98,13 @@ struct SystemResult
 
     /** What the fault injector did (one report per configured plan). */
     std::vector<fault::FaultReport> faultReports;
+
+    /**
+     * Observer::metricsJson() of this run — counters, histograms, and
+     * trace/heat summaries. JSON null unless SystemConfig::observe was
+     * enabled.
+     */
+    harness::Json metrics;
 
     /**
      * The paper's compression ratio (Eq. 1): compressed size / original
@@ -169,6 +187,8 @@ class System
     }
     const cpu::Cpu &cpu() const { return *cpu_; }
     const mem::MainMemory &memory() const { return memory_; }
+    /** nullptr unless SystemConfig::observe.enabled. */
+    const obs::Observer *observer() const { return observer_.get(); }
     /// @}
 
   private:
@@ -180,6 +200,8 @@ class System
     /** Private corrupted copy of built_->cimage (fault plans only). */
     compress::CompressedImage faultedImage_;
     std::vector<fault::FaultReport> faultReports_;
+    /** Created before the Cpu (which holds a raw pointer to it). */
+    std::unique_ptr<obs::Observer> observer_;
     std::unique_ptr<cpu::Cpu> cpu_;
 };
 

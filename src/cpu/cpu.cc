@@ -6,6 +6,7 @@
 
 #include "isa/decode.h"
 #include "isa/disasm.h"
+#include "obs/observer.h"
 #include "support/bitops.h"
 #include "support/crc32.h"
 #include "support/logging.h"
@@ -205,6 +206,10 @@ Cpu::raiseMc(McKind kind, uint32_t addr, bool handler)
     if (stats_.machineCheckHalt)
         return;
     ++stats_.machineChecks;
+    if (config_.observer) [[unlikely]] {
+        config_.observer->machineCheck(static_cast<uint8_t>(kind), addr,
+                                       stats_.cycles);
+    }
     stats_.machineCheckHalt = true;
     stats_.faultKind = kind;
     stats_.faultAddr = addr;
@@ -376,6 +381,12 @@ Cpu::procFault(uint32_t addr, int32_t proc)
     ++stats_.exceptions;
     stats_.cycles +=
         config_.exceptionEntryPenalty + procConfig_.dispatchCycles;
+    obs::Observer *obs = config_.observer;
+    uint64_t obs_cycles0 = 0;
+    if (obs) [[unlikely]] {
+        obs->procFaultBegin(addr, stats_.cycles);
+        obs_cycles0 = stats_.cycles;
+    }
 
     // Allocate procedure-cache space: LRU eviction + compaction.
     proccache::AllocResult alloc =
@@ -406,16 +417,32 @@ Cpu::procFault(uint32_t addr, int32_t proc)
     c0_[isa::C0MapBase] = entry.origBytes;
     McKind fault = runHandler(addr);
     stats_.procDecompressedBytes += entry.origBytes;
-    if (stats_.cancelled)
+    // As with serviceUserMiss: every exit reports one procFaultEnd, so
+    // traced fault-begin spans always close and the
+    // proc_fault_service_cycles histogram count == proc_faults.
+    auto obs_fault_end = [&] {
+        if (obs) [[unlikely]] {
+            obs->procFaultEnd(addr, stats_.cycles,
+                              stats_.cycles - obs_cycles0);
+        }
+    };
+    if (stats_.cancelled) {
+        obs_fault_end();
         return;
+    }
     if (fault != McKind::None) {
         // Whole-procedure fills are not retried (the procedure cache is
         // the paper's comparison baseline, not the hardened mechanism):
         // halt with the diagnostic.
         ++stats_.machineChecks;
+        if (obs) [[unlikely]] {
+            obs->machineCheck(static_cast<uint8_t>(fault),
+                              pendingFaultAddr_, stats_.cycles);
+        }
         stats_.machineCheckHalt = true;
         stats_.faultKind = fault;
         stats_.faultAddr = pendingFaultAddr_;
+        obs_fault_end();
         return;
     }
 
@@ -434,6 +461,7 @@ Cpu::procFault(uint32_t addr, int32_t proc)
     // neighbouring procedure but stale for this one.
     icache_.invalidateRange(entry.vaBase, entry.origBytes);
     stats_.cycles += config_.exceptionReturnPenalty;
+    obs_fault_end();
 
     // Verify the decompressed procedure against the linked image. This
     // is O(procedure bytes) of simulator self-checking on every fault,
@@ -457,6 +485,7 @@ Cpu::serviceUserMiss()
     ++stats_.icacheMisses;
     if (profiling_ && curProc_ >= 0)
         ++procMisses_[curProc_];
+    obs::Observer *obs = config_.observer;
     if (decompressorAttached_ && pc_ >= compressedLo_ &&
         pc_ < compressedHi_) {
         // Software-managed miss: flush the pipeline (swic requires a
@@ -465,23 +494,50 @@ Cpu::serviceUserMiss()
         // mismatch) invalidates the unit and retries up to mcRetryLimit
         // times, then halts with the diagnostic.
         ++stats_.compressedMisses;
+        uint64_t obs_cycles0 = 0;
+        uint64_t obs_hinsns0 = 0;
+        if (obs) [[unlikely]] {
+            obs->missBegin(pc_, stats_.cycles, true);
+            obs_cycles0 = stats_.cycles;
+            obs_hinsns0 = stats_.handlerInsns;
+        }
         unsigned attempt = 0;
+        // Every exit from the retry loop — success, cancellation, or a
+        // machine-check halt — reports one missEnd, keeping the
+        // miss_service_cycles histogram count == compressedMisses and
+        // every traced miss-begin paired with an end.
+        auto obs_miss_end = [&] {
+            if (obs) [[unlikely]] {
+                obs->missEnd(pc_, stats_.cycles,
+                             stats_.cycles - obs_cycles0,
+                             stats_.handlerInsns - obs_hinsns0, attempt,
+                             true);
+            }
+        };
         while (true) {
             ++stats_.exceptions;
             stats_.cycles += config_.exceptionEntryPenalty;
             McKind fault = runHandler(pc_);
             stats_.cycles += config_.exceptionReturnPenalty;
-            if (stats_.cancelled)
+            if (stats_.cancelled) {
+                obs_miss_end();
                 return;
+            }
             uint32_t faddr =
                 fault != McKind::None ? pendingFaultAddr_ : pc_;
             if (fault == McKind::None && !icache_.probe(pc_))
                 fault = McKind::LineFillIncomplete;
             if (fault == McKind::None)
                 fault = checkIntegrity(pc_);
-            if (fault == McKind::None)
+            if (fault == McKind::None) {
+                obs_miss_end();
                 return;
+            }
             ++stats_.machineChecks;
+            if (obs) [[unlikely]] {
+                obs->machineCheck(static_cast<uint8_t>(fault), faddr,
+                                  stats_.cycles);
+            }
             // Drop whatever the failed fill installed.
             uint32_t unit = integrityUnitBytes_
                                 ? integrityUnitBytes_
@@ -494,17 +550,23 @@ Cpu::serviceUserMiss()
             stats_.machineCheckHalt = true;
             stats_.faultKind = fault;
             stats_.faultAddr = faddr;
+            obs_miss_end();
             return;
         }
     } else {
         // Hardware fill from main memory.
         ++stats_.nativeMisses;
         uint32_t line = icache_.lineAddr(pc_);
-        stats_.cycles +=
+        uint64_t burst =
             memory_.timing().burstCycles(config_.icache.lineBytes);
+        if (obs) [[unlikely]]
+            obs->missBegin(pc_, stats_.cycles, false);
+        stats_.cycles += burst;
         memory_.readBlock(line, lineBuf_.data(),
                           config_.icache.lineBytes);
         icache_.fillLine(line, lineBuf_.data());
+        if (obs) [[unlikely]]
+            obs->missEnd(pc_, stats_.cycles, burst, 0, 0, false);
     }
 }
 
@@ -627,6 +689,8 @@ Cpu::runBlocks()
         if (!b.matches(pc_, line.gen)) {
             blockCache_->build(b, pc_, line.gen, insts,
                                line_words - off_words);
+            if (config_.observer) [[unlikely]]
+                config_.observer->blockBuilt(b.meta.len);
         }
         uint64_t k = b.meta.len;
         if (config_.maxUserInsns) {
@@ -717,6 +781,13 @@ Cpu::runHandler(uint32_t addr)
     c0_[isa::C0BadVa] = addr;
     c0_[isa::C0Epc] = addr;
 
+    obs::Observer *obs = config_.observer;
+    uint64_t obs_hinsns0 = 0;
+    if (obs) [[unlikely]] {
+        obs->handlerEnter(addr, stats_.cycles);
+        obs_hinsns0 = stats_.handlerInsns;
+    }
+
     uint32_t *regs =
         config_.secondRegFile ? shadowRegs_.data() : regs_.data();
     // The shadow file shares sp with the user file so that a non-RF
@@ -733,6 +804,10 @@ Cpu::runHandler(uint32_t addr)
         runHandlerBlocks(hpc, regs, budget_end);
         lastLoadDest_ = 0;
         pc_ = c0_[isa::C0Epc];
+        if (obs) [[unlikely]] {
+            obs->handlerIret(stats_.cycles,
+                             stats_.handlerInsns - obs_hinsns0);
+        }
         return pendingFault_;
     }
     while (true) {
@@ -778,6 +853,10 @@ Cpu::runHandler(uint32_t addr)
     lastLoadDest_ = 0;
     // Resume at the missed instruction (c0[Epc]).
     pc_ = c0_[isa::C0Epc];
+    if (obs) [[unlikely]] {
+        obs->handlerIret(stats_.cycles,
+                         stats_.handlerInsns - obs_hinsns0);
+    }
     return pendingFault_;
 }
 
@@ -1099,6 +1178,8 @@ Cpu::executeSlow(const isa::DecodedInst &d, uint32_t pc, uint32_t *regs,
         if (handler && config_.verifyDecompression)
             verifySwic(addr, rt());
         icache_.swicWrite(addr, rt());
+        if (config_.observer) [[unlikely]]
+            config_.observer->swicWrite(addr, stats_.cycles);
         break;
       }
       case Op::Mfc0:

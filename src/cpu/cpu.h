@@ -44,6 +44,10 @@
 #include "program/linker.h"
 #include "runtime/handlers.h"
 
+namespace rtd::obs {
+class Observer;
+}
+
 namespace rtd::cpu {
 
 /**
@@ -138,6 +142,17 @@ struct CpuConfig
      */
     const std::atomic<bool> *cancel = nullptr;
     /// @}
+
+    /**
+     * Observability sink (src/obs/): when non-null the Cpu reports
+     * miss-service spans, handler invocations, swic installs, machine
+     * checks and block builds to it. Default null = zero overhead: every
+     * hook site is one never-taken branch, and no hook mutates simulator
+     * state, so RunStats are byte-identical either way (tests/obs/
+     * asserts it). Normally set by core::System from
+     * SystemConfig::observe, not by hand.
+     */
+    obs::Observer *observer = nullptr;
 };
 
 /** Everything a run produces. */

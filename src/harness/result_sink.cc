@@ -88,6 +88,14 @@ ResultSink::addRow(Json row)
     rows_.push_back(std::move(row));
 }
 
+void
+ResultSink::addMetrics(const std::string &tag, Json metrics)
+{
+    RTDC_ASSERT(metrics.kind() == Json::Kind::Object,
+                "sink metrics must be JSON objects");
+    metrics_.emplace_back(tag, std::move(metrics));
+}
+
 Json
 ResultSink::toJson() const
 {
@@ -101,6 +109,14 @@ ResultSink::toJson() const
     for (const Json &row : rows_)
         rows.push(row);
     doc.set("rows", std::move(rows));
+    // After "rows" so observe-off documents keep their historical byte
+    // layout as a prefix property, and absent entirely when unused.
+    if (!metrics_.empty()) {
+        Json metrics = Json::object();
+        for (const auto &[tag, value] : metrics_)
+            metrics.set(tag, value);
+        doc.set("metrics", std::move(metrics));
+    }
     return doc;
 }
 
@@ -134,9 +150,13 @@ csvCell(const Json &value)
         text = value.asString();
         break;
       default:
-        return value.dump();
+        // Numbers and bools dump clean, but array/object cells dump
+        // with commas and quotes — route every kind through the same
+        // quoting check instead of emitting dumps raw.
+        text = value.dump();
+        break;
     }
-    if (text.find_first_of(",\"\n") == std::string::npos)
+    if (text.find_first_of(",\"\r\n") == std::string::npos)
         return text;
     std::string quoted = "\"";
     for (char c : text) {

@@ -61,9 +61,19 @@ class ResultSink
     /** Append one result row (a flat JSON object). */
     void addRow(Json row);
 
-    size_t rowCount() const { return rows_.size(); }
+    /**
+     * Attach one job's observability metrics
+     * (core::SystemResult::metrics), keyed by the job tag. The document
+     * only gains a "metrics" member when at least one was attached, so
+     * sweeps that never observe keep emitting byte-identical JSON.
+     */
+    void addMetrics(const std::string &tag, Json metrics);
 
-    /** Whole document: {"sweep":..., "machine":?, "scale":?, "rows":[...]}. */
+    size_t rowCount() const { return rows_.size(); }
+    size_t metricsCount() const { return metrics_.size(); }
+
+    /** Whole document: {"sweep":..., "machine":?, "scale":?,
+     *  "rows":[...], "metrics":?}. */
     Json toJson() const;
 
     /** Write toJson() pretty-printed; false (with warn) on I/O error. */
@@ -83,6 +93,8 @@ class ResultSink
     std::string machineLine_;
     Json machineJson_;
     std::vector<Json> rows_;
+    /** (job tag, metrics) pairs in attachment order. */
+    std::vector<std::pair<std::string, Json>> metrics_;
 };
 
 } // namespace rtd::harness

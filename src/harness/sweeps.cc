@@ -32,6 +32,34 @@ pointJob(std::string tag, const workload::WorkloadSpec &spec,
     return job;
 }
 
+/** Enable per-job observability when SweepOptions::observe asks for it:
+ *  metrics + heat, no event trace (a sweep's rings would dwarf its
+ *  results; use rtdc_trace for timelines). */
+void
+applyObserve(std::vector<Job> &jobs, const SweepOptions &opts)
+{
+    if (!opts.observe)
+        return;
+    for (Job &job : jobs) {
+        job.config.observe.enabled = true;
+        job.config.observe.trace = false;
+    }
+}
+
+/** Roll each observed job's metrics into the sink (tag-keyed). */
+void
+collectMetrics(ResultSink &sink, const std::vector<Job> &jobs,
+               const std::vector<JobResult> &results,
+               const SweepOptions &opts)
+{
+    if (!opts.observe)
+        return;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (results[i].ok && !results[i].result.metrics.isNull())
+            sink.addMetrics(jobs[i].tag, results[i].result.metrics);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Figure 4: I-cache miss ratio vs execution time.
 // Jobs per (benchmark, I$ size): native, D, D+RF, CP, CP+RF.
@@ -75,8 +103,10 @@ runFigure4(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
+    applyObserve(jobs, opts);
     std::vector<JobResult> results =
         SweepRunner(opts.jobs).run("figure4", jobs, cache);
+    collectMetrics(sink, jobs, results, opts);
 
     for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
         std::printf("\n--- Figure 4%s: %s ---\n",
@@ -165,8 +195,10 @@ runFigure5(const SweepOptions &opts)
         profile_jobs.push_back(pointJob(tag + "/profile", spec, machine,
                                         Scheme::None, false, {}, true));
     }
+    applyObserve(profile_jobs, opts);
     std::vector<JobResult> profiled =
         runner.run("figure5:profile", profile_jobs, cache);
+    collectMetrics(sink, profile_jobs, profiled, opts);
 
     // Phase 2: the selective-compression grid.
     auto at = [&](size_t b, size_t scheme_i, size_t policy_i, size_t t) {
@@ -193,8 +225,10 @@ runFigure5(const SweepOptions &opts)
             }
         }
     }
+    applyObserve(grid, opts);
     std::vector<JobResult> results =
         runner.run("figure5", grid, cache);
+    collectMetrics(sink, grid, results, opts);
 
     for (size_t b = 0; b < benchmarks.size(); ++b) {
         const core::SystemResult &native = profiled[b * 2].result;
@@ -272,8 +306,10 @@ runTable3(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
+    applyObserve(jobs, opts);
     std::vector<JobResult> results =
         SweepRunner(opts.jobs).run("table3", jobs, cache);
+    collectMetrics(sink, jobs, results, opts);
 
     Table table({"benchmark", "D (paper)", "D+RF (paper)", "CP (paper)",
                  "CP+RF (paper)"});
@@ -354,8 +390,10 @@ runAblationMemory(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
+    applyObserve(jobs, opts);
     std::vector<JobResult> results =
         SweepRunner(opts.jobs).run("ablation_memory", jobs, cache);
+    collectMetrics(sink, jobs, results, opts);
 
     Table table({"benchmark", "mem latency", "native CPI", "D slowdown",
                  "CP slowdown"});
@@ -428,8 +466,10 @@ runAblationLinesize(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
+    applyObserve(jobs, opts);
     std::vector<JobResult> results =
         SweepRunner(opts.jobs).run("ablation_linesize", jobs, cache);
+    collectMetrics(sink, jobs, results, opts);
 
     Table table({"benchmark", "line", "miss ratio", "handler insns/miss",
                  "D slowdown", "D+RF slowdown"});
@@ -534,8 +574,10 @@ runAblationHandler(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
+    applyObserve(jobs, opts);
     std::vector<JobResult> results =
         SweepRunner(opts.jobs).run("ablation_handler", jobs, cache);
+    collectMetrics(sink, jobs, results, opts);
 
     std::printf("\n--- cached vs uncached handler loads ---\n");
     Table cached_table({"benchmark", "scheme", "D$ cached", "uncached",
@@ -621,6 +663,8 @@ SweepOptions::fromEnv()
         if (jobs > 0)
             opts.jobs = static_cast<unsigned>(jobs);
     }
+    if (const char *env = std::getenv("RTDC_OBSERVE"))
+        opts.observe = std::atoi(env) != 0;
     return opts;
 }
 

@@ -28,8 +28,16 @@ struct SweepOptions
     bool writeJson = true; ///< write BENCH_<sweep>.json after the run
     std::string outPath;   ///< JSON path; empty = BENCH_<sweep>.json
     std::string csvPath;   ///< also write rows as CSV when non-empty
+    /**
+     * Run every job with SystemConfig::observe enabled (metrics +
+     * heatmap, no event trace) and roll each job's metrics into the
+     * sink under the "metrics" key. Off by default: stdout and JSON
+     * stay byte-identical to pre-observability builds.
+     */
+    bool observe = false;
 
-    /** Defaults from the environment: RTDC_JOBS, RTDC_BENCH_SCALE. */
+    /** Defaults from the environment: RTDC_JOBS, RTDC_BENCH_SCALE,
+     *  RTDC_OBSERVE. */
     static SweepOptions fromEnv();
 };
 

@@ -1,0 +1,55 @@
+#include "obs/heatmap.h"
+
+#include <cstdio>
+
+namespace rtd::obs {
+
+void
+HeatProfile::record(uint32_t line_addr, uint64_t service_cycles,
+                    uint64_t handler_insns)
+{
+    LineHeat &heat = lines_[line_addr];
+    ++heat.misses;
+    heat.serviceCycles += service_cycles;
+    heat.handlerInsns += handler_insns;
+    ++totalMisses_;
+}
+
+std::string
+HeatProfile::toCsv() const
+{
+    std::string out = "line_addr,misses,service_cycles,handler_insns\n";
+    char buf[96];
+    for (const auto &[addr, heat] : lines_) {
+        std::snprintf(buf, sizeof buf, "0x%08x,%llu,%llu,%llu\n", addr,
+                      static_cast<unsigned long long>(heat.misses),
+                      static_cast<unsigned long long>(heat.serviceCycles),
+                      static_cast<unsigned long long>(heat.handlerInsns));
+        out += buf;
+    }
+    return out;
+}
+
+harness::Json
+HeatProfile::summaryJson() const
+{
+    harness::Json out = harness::Json::object();
+    out.set("lines", static_cast<uint64_t>(lines_.size()));
+    out.set("misses", totalMisses_);
+    return out;
+}
+
+profile::ProcedureProfile
+HeatProfile::toProfile(const prog::LoadedImage &image) const
+{
+    std::vector<uint64_t> exec_by_linked(image.procs.size(), 0);
+    std::vector<uint64_t> miss_by_linked(image.procs.size(), 0);
+    for (const auto &[addr, heat] : lines_) {
+        int32_t proc = image.procAt(addr);
+        if (proc >= 0)
+            miss_by_linked[static_cast<size_t>(proc)] += heat.misses;
+    }
+    return profile::remapProfile(image, exec_by_linked, miss_by_linked);
+}
+
+} // namespace rtd::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * HeatProfile: per-I-cache-line miss heat collected during a run.
+ *
+ * For every user I-miss the Observer records the line address, the
+ * service cost in cycles, and the handler instructions spent filling it
+ * (0 for hardware fills). That turns the paper's "which lines are hot"
+ * question — the input to selective compression (§3.3) — from a
+ * synthetic modeling assumption into a measurement:
+ *
+ *  - toCsv() dumps the whole profile as a line-address-sorted CSV
+ *    heatmap (`rtdc_trace --heatmap`),
+ *  - toProfile() folds the line heat onto procedures and returns a
+ *    profile::ProcedureProfile whose missCounts came from measurement,
+ *    directly consumable by profile::selectNative(MissBased, t).
+ */
+
+#ifndef RTDC_OBS_HEATMAP_H
+#define RTDC_OBS_HEATMAP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "harness/json.h"
+#include "profile/profile.h"
+#include "program/linker.h"
+
+namespace rtd::obs {
+
+/** Accumulated heat of one I-cache line. */
+struct LineHeat
+{
+    uint64_t misses = 0;        ///< fills of this line
+    uint64_t serviceCycles = 0; ///< total miss-service cycles
+    uint64_t handlerInsns = 0;  ///< decompressor insns spent on it
+};
+
+/** Per-line miss/cost accumulation for one run. */
+class HeatProfile
+{
+  public:
+    void record(uint32_t line_addr, uint64_t service_cycles,
+                uint64_t handler_insns);
+
+    /** Ordered by line address — deterministic iteration and output. */
+    const std::map<uint32_t, LineHeat> &lines() const { return lines_; }
+    uint64_t totalMisses() const { return totalMisses_; }
+
+    /**
+     * "line_addr,misses,service_cycles,handler_insns\n" rows sorted by
+     * line address (hex line_addr), plus the header.
+     */
+    std::string toCsv() const;
+
+    /** Summary for the metrics JSON: {"lines":N,"misses":M}. */
+    harness::Json summaryJson() const;
+
+    /**
+     * Fold line heat onto procedures (a line is attributed to the
+     * procedure containing its base address) and return a Program-order
+     * ProcedureProfile with measured missCounts. execInsns and
+     * transitions are zero/empty: the result feeds the MissBased
+     * selection policy, which reads only missCounts.
+     */
+    profile::ProcedureProfile
+    toProfile(const prog::LoadedImage &image) const;
+
+  private:
+    std::map<uint32_t, LineHeat> lines_;
+    uint64_t totalMisses_ = 0;
+};
+
+} // namespace rtd::obs
+
+#endif // RTDC_OBS_HEATMAP_H

@@ -1,0 +1,122 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace rtd::obs {
+
+using harness::Json;
+
+unsigned
+Log2Histogram::bucketOf(uint64_t value)
+{
+    return value == 0 ? 0u : static_cast<unsigned>(std::bit_width(value));
+}
+
+uint64_t
+Log2Histogram::bucketLo(unsigned b)
+{
+    return b == 0 ? 0 : uint64_t(1) << (b - 1);
+}
+
+uint64_t
+Log2Histogram::bucketHi(unsigned b)
+{
+    if (b == 0)
+        return 0;
+    if (b == kBuckets - 1)
+        return UINT64_MAX;
+    return (uint64_t(1) << b) - 1;
+}
+
+void
+Log2Histogram::record(uint64_t value)
+{
+    ++count_;
+    sum_ += value;
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+    ++buckets_[bucketOf(value)];
+}
+
+Json
+Log2Histogram::toJson() const
+{
+    Json out = Json::object();
+    out.set("count", count_);
+    out.set("sum", sum_);
+    out.set("min", min());
+    out.set("max", max_);
+    Json buckets = Json::array();
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        Json entry = Json::object();
+        entry.set("lo", bucketLo(b));
+        entry.set("hi", bucketHi(b));
+        entry.set("count", buckets_[b]);
+        buckets.push(std::move(entry));
+    }
+    out.set("buckets", std::move(buckets));
+    return out;
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name)
+{
+    for (const auto &c : counters_) {
+        if (c->name == name)
+            return c.get();
+    }
+    counters_.push_back(std::make_unique<Counter>(Counter{name, 0}));
+    return counters_.back().get();
+}
+
+Log2Histogram *
+MetricsRegistry::histogram(const std::string &name)
+{
+    for (const auto &h : histograms_) {
+        if (h->name() == name)
+            return h.get();
+    }
+    histograms_.push_back(std::make_unique<Log2Histogram>(name));
+    return histograms_.back().get();
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    for (const auto &c : counters_) {
+        if (c->name == name)
+            return c.get();
+    }
+    return nullptr;
+}
+
+const Log2Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    for (const auto &h : histograms_) {
+        if (h->name() == name)
+            return h.get();
+    }
+    return nullptr;
+}
+
+Json
+MetricsRegistry::toJson() const
+{
+    Json counters = Json::object();
+    for (const auto &c : counters_)
+        counters.set(c->name, c->value);
+    Json histograms = Json::object();
+    for (const auto &h : histograms_)
+        histograms.set(h->name(), h->toJson());
+    Json out = Json::object();
+    out.set("counters", std::move(counters));
+    out.set("histograms", std::move(histograms));
+    return out;
+}
+
+} // namespace rtd::obs

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * MetricsRegistry: named counters and fixed-bucket log2 histograms.
+ *
+ * The simulator's RunStats are end-of-run *totals*; the paper's claims
+ * are distributional (miss-service cycles per line fill, handler
+ * dynamic instructions per invocation, §5). The registry is the
+ * component-agnostic holder for those distributions: any subsystem
+ * registers a counter or histogram by name, records into it through a
+ * raw pointer (no lookup on the hot path), and the whole registry
+ * serializes to one deterministic JSON object.
+ *
+ * Everything here is plain single-threaded state owned by one
+ * obs::Observer, which is owned by one core::System — the sweep
+ * harness's parallelism is across Systems, never within one.
+ */
+
+#ifndef RTDC_OBS_METRICS_H
+#define RTDC_OBS_METRICS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/json.h"
+
+namespace rtd::obs {
+
+/** A named monotonic counter. */
+struct Counter
+{
+    std::string name;
+    uint64_t value = 0;
+
+    void add(uint64_t delta = 1) { value += delta; }
+};
+
+/**
+ * A fixed-bucket base-2 logarithmic histogram of uint64 samples.
+ *
+ * Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+ * 65 buckets cover the full uint64 range, so record() never clips and
+ * needs no configuration. count/sum/min/max are tracked exactly, which
+ * is what lets tests reconcile histogram totals against RunStats
+ * (e.g. sum(handler_insns) == RunStats::handlerInsns).
+ */
+class Log2Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    explicit Log2Histogram(std::string name) : name_(std::move(name)) {}
+
+    void record(uint64_t value);
+
+    const std::string &name() const { return name_; }
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    /** Smallest/largest recorded sample; 0 when count() == 0. */
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    uint64_t bucket(unsigned b) const { return buckets_[b]; }
+
+    /** Bucket index for @p value: 0, else bit_width(value). */
+    static unsigned bucketOf(uint64_t value);
+    /** Inclusive [lo, hi] range covered by bucket @p b. */
+    static uint64_t bucketLo(unsigned b);
+    static uint64_t bucketHi(unsigned b);
+
+    /**
+     * {"count":..,"sum":..,"min":..,"max":..,"buckets":[{"lo","hi",
+     * "count"},..]} — only non-empty buckets are emitted.
+     */
+    harness::Json toJson() const;
+
+  private:
+    std::string name_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+    uint64_t buckets_[kBuckets] = {};
+};
+
+/**
+ * Insertion-ordered collection of counters and histograms. Pointers
+ * returned by counter()/histogram() stay valid for the registry's
+ * lifetime (deque-like storage), so hot paths record through cached
+ * pointers and never pay a name lookup.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create by name. */
+    Counter *counter(const std::string &name);
+    Log2Histogram *histogram(const std::string &name);
+
+    /** Lookup without creating; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Log2Histogram *findHistogram(const std::string &name) const;
+
+    /**
+     * {"counters":{name:value,..},"histograms":{name:{...},..}} with
+     * members in registration order — deterministic output.
+     */
+    harness::Json toJson() const;
+
+  private:
+    // unique_ptr-per-entry keeps addresses stable across registration.
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Log2Histogram>> histograms_;
+};
+
+} // namespace rtd::obs
+
+#endif // RTDC_OBS_METRICS_H

@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "compress/codepack.h"
 #include "compress/dictionary.h"
 #include "compress/huffman.h"
 #include "compress/integrity.h"
+#include "core/experiment.h"
 #include "core/system.h"
 #include "fault/fault.h"
 #include "harness/artifact_cache.h"
@@ -531,6 +535,73 @@ TEST(FaultHarness, WatchdogCancelsWedgedJob)
     EXPECT_TRUE(results[0].timedOut);
     EXPECT_TRUE(results[0].result.stats.cancelled);
     EXPECT_FALSE(results[0].error.empty());
+}
+
+TEST(ErrorTrap, NestedTrapsStayArmedUntilTheOutermostExits)
+{
+    EXPECT_FALSE(ScopedErrorTrap::active());
+    {
+        ScopedErrorTrap outer;
+        EXPECT_TRUE(ScopedErrorTrap::active());
+        {
+            ScopedErrorTrap inner;
+            EXPECT_TRUE(ScopedErrorTrap::active());
+            EXPECT_THROW(fatal("inner trap"), SimError);
+        }
+        // The inner trap's destruction must not disarm the outer one.
+        EXPECT_TRUE(ScopedErrorTrap::active());
+        EXPECT_THROW(fatal("outer trap"), SimError);
+    }
+    EXPECT_FALSE(ScopedErrorTrap::active());
+}
+
+TEST(ErrorTrap, TrapIsPerThread)
+{
+    ScopedErrorTrap trap;
+    ASSERT_TRUE(ScopedErrorTrap::active());
+    bool other_thread_active = true;
+    std::thread([&] {
+        other_thread_active = ScopedErrorTrap::active();
+    }).join();
+    EXPECT_FALSE(other_thread_active)
+        << "a trap must only arm the thread that created it";
+}
+
+TEST(Cancellation, EveryEngineHonorsTheCancelFlag)
+{
+    // A long workload with the cancel flag already raised: each engine
+    // must notice at its next (rate-limited) poll and stop with
+    // stats.cancelled, never running to completion. This is the
+    // invariant the harness watchdog depends on, checked per engine so
+    // a new fast path cannot silently skip the poll.
+    workload::WorkloadSpec spec = workload::tinySpec();
+    spec.targetDynamicInsns = 2'000'000'000ull;
+    workload::WorkloadGenerator gen(spec);
+    prog::Program program = gen.generate();
+
+    struct Engine
+    {
+        const char *name;
+        bool predecode, blockExec;
+    };
+    for (const Engine &engine :
+         {Engine{"legacy", false, false},
+          Engine{"predecode", true, false},
+          Engine{"blocks", true, true}}) {
+        std::atomic<bool> cancel{true};
+        core::SystemConfig config;
+        config.cpu = core::paperMachine();
+        config.cpu.predecode = engine.predecode;
+        config.cpu.blockExec = engine.blockExec;
+        config.cpu.cancel = &cancel;
+        config.scheme = Scheme::Dictionary;
+        core::System system(program, config);
+        core::SystemResult result = system.run();
+        EXPECT_TRUE(result.stats.cancelled) << engine.name;
+        EXPECT_FALSE(result.stats.halted) << engine.name;
+        EXPECT_LT(result.stats.userInsns, spec.targetDynamicInsns)
+            << engine.name;
+    }
 }
 
 } // namespace

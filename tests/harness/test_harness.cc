@@ -318,6 +318,78 @@ TEST(ResultSink, CsvUnionsColumnsInFirstSeenOrder)
     std::remove(path.c_str());
 }
 
+TEST(ResultSink, CsvEscapesQuotesNewlinesAndCarriageReturns)
+{
+    ResultSink sink("unit");
+    Json row = Json::object();
+    row.set("quoted", "say \"hi\"");
+    row.set("newline", "two\nlines");
+    row.set("cr", "dos\r\nline");
+    row.set("plain", "safe");
+    sink.addRow(std::move(row));
+
+    std::string path = "harness_csv_escape_test.csv";
+    ASSERT_TRUE(sink.writeCsv(path));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(),
+              "quoted,newline,cr,plain\n"
+              "\"say \"\"hi\"\"\",\"two\nlines\",\"dos\r\nline\","
+              "safe\n");
+    std::remove(path.c_str());
+}
+
+TEST(ResultSink, CsvQuotesNonScalarCells)
+{
+    // Array/object cells dump with commas and quotes; the writer must
+    // quote the dump instead of corrupting the row structure.
+    ResultSink sink("unit");
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push(2);
+    Json obj = Json::object();
+    obj.set("k", "v");
+    Json row = Json::object();
+    row.set("list", std::move(arr));
+    row.set("nested", std::move(obj));
+    row.set("tail", 9);
+    sink.addRow(std::move(row));
+
+    std::string path = "harness_csv_nonscalar_test.csv";
+    ASSERT_TRUE(sink.writeCsv(path));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(),
+              "list,nested,tail\n"
+              "\"[1,2]\",\"{\"\"k\"\":\"\"v\"\"}\",9\n");
+    std::remove(path.c_str());
+}
+
+TEST(ResultSink, MetricsKeyAppearsOnlyWhenAttached)
+{
+    ResultSink sink("unit");
+    Json row = Json::object();
+    row.set("a", 1);
+    sink.addRow(std::move(row));
+    EXPECT_EQ(sink.toJson().find("metrics"), nullptr)
+        << "observe-off documents must keep their historical layout";
+    EXPECT_EQ(sink.metricsCount(), 0u);
+
+    Json metrics = Json::object();
+    metrics.set("counters", Json::object());
+    sink.addMetrics("go/dictionary", std::move(metrics));
+    EXPECT_EQ(sink.metricsCount(), 1u);
+    Json doc = sink.toJson();
+    const Json *attached = doc.find("metrics");
+    ASSERT_NE(attached, nullptr);
+    ASSERT_NE(attached->find("go/dictionary"), nullptr);
+    // "metrics" comes after "rows": observe-off output is a prefix.
+    const auto &members = doc.members();
+    EXPECT_EQ(members.back().first, "metrics");
+}
+
 TEST(ResultSink, MachineHeaderMatchesLegacyFormat)
 {
     // The exact header string the pre-harness benches printed for the
