@@ -1,0 +1,119 @@
+/**
+ * @file
+ * rtdc_serve — the persistent sweep daemon (DESIGN.md section 14).
+ *
+ * Listens on a local unix socket, runs submitted sweep jobs on a shared
+ * worker pool against a persistent artifact cache and result index, and
+ * keeps both warm across sweeps, clients, and (with --cache-dir)
+ * restarts.
+ *
+ *   $ ./build/examples/rtdc_serve --socket /tmp/rtdc.sock \
+ *         --cache-dir /tmp/rtdc-cache &
+ *   $ ./build/examples/rtdc_client --socket /tmp/rtdc.sock sweep table3
+ *   $ ./build/examples/rtdc_client --socket /tmp/rtdc.sock shutdown
+ *
+ * SIGINT/SIGTERM trigger the same graceful stop as the shutdown op:
+ * in-flight jobs are cancelled, connections drained, the socket file
+ * removed.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/server.h"
+#include "support/logging.h"
+
+using namespace rtd;
+
+namespace {
+
+/** The running server, for the signal handler's async stop request. */
+std::atomic<bool> g_stopRequested{false};
+
+void
+onSignal(int)
+{
+    // Async-signal-safe: just set the flag; the main thread polls it.
+    g_stopRequested.store(true);
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --socket PATH [options]\n"
+        "  --socket PATH     unix socket to listen on (required)\n"
+        "  --cache-dir DIR   disk-backed artifact + result store "
+        "(default: memory only)\n"
+        "  --cache-mb N      disk store payload bound in MiB "
+        "(default: 512, 0 = unbounded)\n"
+        "  --jobs N          simulation worker threads (default: all "
+        "cores)\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    serve::ServerConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            config.socketPath = next();
+        } else if (arg == "--cache-dir") {
+            config.cacheDir = next();
+        } else if (arg == "--cache-mb") {
+            config.cacheMaxBytes =
+                static_cast<uint64_t>(std::atoll(next())) << 20;
+        } else if (arg == "--jobs") {
+            int jobs = std::atoi(next());
+            if (jobs <= 0)
+                usage(argv[0]);
+            config.workers = static_cast<unsigned>(jobs);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (config.socketPath.empty())
+        usage(argv[0]);
+
+    serve::Server server(config);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "rtdc_serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "rtdc_serve: listening on %s%s%s\n",
+                 config.socketPath.c_str(),
+                 config.cacheDir.empty() ? "" : ", disk cache at ",
+                 config.cacheDir.c_str());
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    // Wait for either a client shutdown op or a signal. The signal
+    // handler cannot call stop() itself (it takes locks), so the main
+    // thread polls the flag at a human-scale interval.
+    for (;;) {
+        if (g_stopRequested.load()) {
+            server.stop();
+            break;
+        }
+        if (server.waitForShutdownFor(std::chrono::milliseconds(200)))
+            break;
+    }
+    std::fprintf(stderr, "rtdc_serve: stopped\n");
+    return 0;
+}

@@ -42,6 +42,10 @@ usage(const char *argv0)
         "  --no-json     skip the JSON output file\n"
         "  --observe     collect per-job metrics into the JSON under "
         "\"metrics\" (RTDC_OBSERVE)\n"
+        "  --poison SUB  poison every job whose tag contains SUB (it "
+        "fails; the sweep\n"
+        "                keeps going and the exit code turns nonzero — "
+        "failure-path demo)\n"
         "  --list        list registered sweeps\n",
         argv0);
     std::exit(2);
@@ -92,6 +96,8 @@ main(int argc, char **argv)
             opts.writeJson = false;
         } else if (arg == "--observe") {
             opts.observe = true;
+        } else if (arg == "--poison") {
+            opts.poisonTag = next();
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else if (sweep.empty()) {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "harness/serialize.h"
+
 namespace rtd::harness {
 
 uint64_t
@@ -93,7 +95,11 @@ ArtifactCache::imageKey(const workload::WorkloadSpec &spec,
 std::shared_ptr<const void>
 ArtifactCache::getOrBuild(
     const std::string &key,
-    const std::function<std::shared_ptr<const void>()> &build)
+    const std::function<std::shared_ptr<const void>()> &build,
+    const std::function<std::shared_ptr<const void>(const std::string &)>
+        &revive,
+    const std::function<std::string(const std::shared_ptr<const void> &)>
+        &spill)
 {
     std::promise<std::shared_ptr<const void>> promise;
     {
@@ -108,9 +114,23 @@ ArtifactCache::getOrBuild(
         }
         entries_.emplace(key, promise.get_future().share());
     }
-    builds_.fetch_add(1);
     try {
+        // A blob revived from the backing store counts as neither a
+        // memory hit nor a build: it is the warm-restart fast path.
+        if (store_) {
+            std::string bytes;
+            if (store_->load(key, bytes)) {
+                if (std::shared_ptr<const void> value = revive(bytes)) {
+                    storeHits_.fetch_add(1);
+                    promise.set_value(value);
+                    return value;
+                }
+            }
+        }
+        builds_.fetch_add(1);
         std::shared_ptr<const void> value = build();
+        if (store_)
+            store_->store(key, spill(value));
         promise.set_value(value);
         return value;
     } catch (...) {
@@ -122,10 +142,21 @@ ArtifactCache::getOrBuild(
 std::shared_ptr<const prog::Program>
 ArtifactCache::program(const workload::WorkloadSpec &spec)
 {
-    std::shared_ptr<const void> value =
-        getOrBuild(workloadKey(spec), [&spec] {
+    std::shared_ptr<const void> value = getOrBuild(
+        workloadKey(spec),
+        [&spec]() -> std::shared_ptr<const void> {
             workload::WorkloadGenerator gen(spec);
             return std::make_shared<const prog::Program>(gen.generate());
+        },
+        [](const std::string &bytes) -> std::shared_ptr<const void> {
+            auto program = std::make_shared<prog::Program>();
+            if (!decodeProgram(bytes, *program))
+                return nullptr;
+            return std::shared_ptr<const prog::Program>(std::move(program));
+        },
+        [](const std::shared_ptr<const void> &value) {
+            return encodeProgram(
+                *std::static_pointer_cast<const prog::Program>(value));
         });
     return std::static_pointer_cast<const prog::Program>(value);
 }
@@ -136,11 +167,26 @@ ArtifactCache::builtImage(const workload::WorkloadSpec &spec,
 {
     // Resolve the program first (outside the image builder) so two jobs
     // with different configs over the same workload share one Program.
-    std::shared_ptr<const prog::Program> prog = program(spec);
-    std::shared_ptr<const void> value =
-        getOrBuild(imageKey(spec, config), [&prog, &config] {
+    // With a backing store the program is only actually generated (or
+    // revived) when the image itself has to be built, so a fully warm
+    // image lookup touches exactly one blob.
+    std::shared_ptr<const void> value = getOrBuild(
+        imageKey(spec, config),
+        [this, &spec, &config]() -> std::shared_ptr<const void> {
+            std::shared_ptr<const prog::Program> prog = program(spec);
             return std::make_shared<const core::BuiltImage>(
                 core::buildImage(*prog, config));
+        },
+        [](const std::string &bytes) -> std::shared_ptr<const void> {
+            auto built = std::make_shared<core::BuiltImage>();
+            if (!decodeBuiltImage(bytes, *built))
+                return nullptr;
+            return std::shared_ptr<const core::BuiltImage>(
+                std::move(built));
+        },
+        [](const std::shared_ptr<const void> &value) {
+            return encodeBuiltImage(
+                *std::static_pointer_cast<const core::BuiltImage>(value));
         });
     return std::static_pointer_cast<const core::BuiltImage>(value);
 }

@@ -17,8 +17,16 @@ Json::Json(uint64_t value) : kind_(Kind::Int)
 
 Json::Json(double value) : kind_(Kind::Double), double_(value)
 {
-    RTDC_ASSERT(std::isfinite(value),
-                "JSON cannot represent NaN or infinity");
+    if (!std::isfinite(value))
+        kind_ = Kind::Null;
+}
+
+Json
+Json::exactDouble(double value)
+{
+    Json v(value);
+    v.exact_ = true;
+    return v;
 }
 
 Json
@@ -190,7 +198,8 @@ Json::dumpTo(std::string &out, int indent, int depth) const
         out += buf;
         break;
       case Kind::Double:
-        std::snprintf(buf, sizeof(buf), "%.10g", double_);
+        std::snprintf(buf, sizeof(buf), exact_ ? "%.17g" : "%.10g",
+                      double_);
         out += buf;
         break;
       case Kind::String:
@@ -303,6 +312,19 @@ class Parser
           default: return parseNumber(out);
         }
     }
+
+    /** Container-entry guard: bounded recursion is what keeps a
+     *  deeply-nested wire payload a parse error instead of a stack
+     *  overflow. */
+    bool enter()
+    {
+        if (++depth_ > Json::maxParseDepth) {
+            error_ = "nesting too deep";
+            return false;
+        }
+        return true;
+    }
+    void leave() { --depth_; }
 
     bool parseString(Json &out)
     {
@@ -428,11 +450,14 @@ class Parser
 
     bool parseArray(Json &out)
     {
+        if (!enter())
+            return false;
         ++pos_;  // '['
         Json array = Json::array();
         skipSpace();
         if (pos_ < text_.size() && text_[pos_] == ']') {
             ++pos_;
+            leave();
             out = std::move(array);
             return true;
         }
@@ -453,6 +478,7 @@ class Parser
             }
             if (text_[pos_] == ']') {
                 ++pos_;
+                leave();
                 out = std::move(array);
                 return true;
             }
@@ -463,11 +489,14 @@ class Parser
 
     bool parseObject(Json &out)
     {
+        if (!enter())
+            return false;
         ++pos_;  // '{'
         Json object = Json::object();
         skipSpace();
         if (pos_ < text_.size() && text_[pos_] == '}') {
             ++pos_;
+            leave();
             out = std::move(object);
             return true;
         }
@@ -503,6 +532,7 @@ class Parser
             }
             if (text_[pos_] == '}') {
                 ++pos_;
+                leave();
                 out = std::move(object);
                 return true;
             }
@@ -513,6 +543,7 @@ class Parser
 
     const std::string &text_;
     size_t pos_ = 0;
+    int depth_ = 0;
     std::string error_;
 };
 

@@ -42,7 +42,22 @@ class Json
     Json(unsigned value) : kind_(Kind::Int), int_(value) {}
     Json(int64_t value) : kind_(Kind::Int), int_(value) {}
     Json(uint64_t value);
+    /**
+     * JSON has no NaN/Infinity literals, and a wire peer must never
+     * receive unparseable output, so non-finite values degrade to Null
+     * (the conventional JSON mapping) instead of asserting.
+     */
     Json(double value);
+
+    /**
+     * A double that serializes with 17 significant digits ("%.17g"), so
+     * parsing the output recovers the bit-identical value. The wire
+     * protocol uses this for workload-spec knobs, where a rounded
+     * double would silently change the simulated point; the result
+     * sinks keep the compact default ("%.10g") and their historical
+     * bytes.
+     */
+    static Json exactDouble(double value);
     Json(const char *value) : kind_(Kind::String), string_(value) {}
     Json(std::string value)
         : kind_(Kind::String), string_(std::move(value))
@@ -96,9 +111,14 @@ class Json
     /**
      * Parse @p text into @p out. Returns false (and fills @p error, when
      * non-null) on malformed input; @p out is untouched on failure.
+     * Nesting beyond maxParseDepth (a hostile wire peer's stack-
+     * exhaustion vector) is a parse error, not a crash.
      */
     static bool parse(const std::string &text, Json *out,
                       std::string *error = nullptr);
+
+    /** Maximum container nesting parse() accepts. */
+    static constexpr int maxParseDepth = 256;
 
   private:
     void dumpTo(std::string &out, int indent, int depth) const;
@@ -107,6 +127,7 @@ class Json
     bool bool_ = false;
     int64_t int_ = 0;
     double double_ = 0.0;
+    bool exact_ = false;  ///< print double_ with full precision
     std::string string_;
     std::vector<Json> items_;
     std::vector<std::pair<std::string, Json>> members_;

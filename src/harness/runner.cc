@@ -28,22 +28,37 @@ secondsSince(Clock::time_point start)
 
 /**
  * Per-attempt wall-clock watchdog: sets the job's cancellation flag
- * (polled by the Cpu, see CpuConfig::cancel) once the deadline passes.
- * Destruction disarms and joins, so a finished attempt never leaks a
- * timer into the next one.
+ * (polled by the Cpu, see CpuConfig::cancel) once the deadline passes
+ * or an external cancellation source (the serve daemon's per-job cancel
+ * op) fires. Destruction disarms and joins, so a finished attempt never
+ * leaks a timer into the next one.
  */
 class Watchdog
 {
   public:
-    Watchdog(double seconds, std::atomic<bool> &flag)
+    Watchdog(double seconds, const std::atomic<bool> *external,
+             std::atomic<bool> &flag)
     {
-        thread_ = std::thread([this, seconds, &flag] {
+        thread_ = std::thread([this, seconds, external, &flag] {
+            Clock::time_point deadline =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        seconds > 0 ? seconds : 0));
             std::unique_lock<std::mutex> lock(mutex_);
-            bool disarmed = cv_.wait_for(
-                lock, std::chrono::duration<double>(seconds),
-                [this] { return disarmed_; });
-            if (!disarmed)
-                flag.store(true, std::memory_order_relaxed);
+            while (!disarmed_) {
+                if (external &&
+                    external->load(std::memory_order_relaxed)) {
+                    flag.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                if (seconds > 0 && Clock::now() >= deadline) {
+                    flag.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                cv_.wait_for(lock, std::chrono::milliseconds(20),
+                             [this] { return disarmed_; });
+            }
         });
     }
 
@@ -75,31 +90,38 @@ class Watchdog
  * down its sweep siblings.
  */
 void
-runAttempt(const Job &job, ArtifactCache &cache, JobResult &out)
+runAttempt(const Job &job, ArtifactCache &cache,
+           const std::atomic<bool> *external_cancel, JobResult &out)
 {
     out.ok = true;
     out.timedOut = false;
     out.error.clear();
     std::atomic<bool> cancel{false};
+    bool watched = job.timeoutSeconds > 0 || external_cancel != nullptr;
     try {
         ScopedErrorTrap trap;
         std::optional<Watchdog> watchdog;
-        if (job.timeoutSeconds > 0)
-            watchdog.emplace(job.timeoutSeconds, cancel);
+        if (watched)
+            watchdog.emplace(job.timeoutSeconds, external_cancel, cancel);
         std::shared_ptr<const core::BuiltImage> built =
             cache.builtImage(job.workload, job.config);
         core::SystemConfig config = job.config;
-        if (job.timeoutSeconds > 0)
+        if (watched)
             config.cpu.cancel = &cancel;
         core::System system(built, config);
         out.result = system.run();
         if (out.result.stats.cancelled) {
             out.ok = false;
             out.timedOut = true;
-            char buf[64];
-            std::snprintf(buf, sizeof buf, "timed out after %.3gs",
-                          job.timeoutSeconds);
-            out.error = buf;
+            if (external_cancel &&
+                external_cancel->load(std::memory_order_relaxed)) {
+                out.error = "cancelled";
+            } else {
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "timed out after %.3gs",
+                              job.timeoutSeconds);
+                out.error = buf;
+            }
         }
     } catch (const std::exception &e) {
         out.ok = false;
@@ -109,6 +131,30 @@ runAttempt(const Job &job, ArtifactCache &cache, JobResult &out)
 }
 
 } // namespace
+
+JobResult
+executeJob(const Job &job, ArtifactCache &cache,
+           const std::atomic<bool> *external_cancel)
+{
+    Clock::time_point job_start = Clock::now();
+    JobResult out;
+    unsigned max_attempts = std::max(1u, job.maxAttempts);
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        out.attempts = attempt;
+        runAttempt(job, cache, external_cancel, out);
+        bool externally_cancelled =
+            external_cancel &&
+            external_cancel->load(std::memory_order_relaxed);
+        if (out.ok || attempt == max_attempts || externally_cancelled)
+            break;
+        if (job.backoffSeconds > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                job.backoffSeconds * attempt));
+        }
+    }
+    out.wallSeconds = secondsSince(job_start);
+    return out;
+}
 
 SweepRunner::SweepRunner(unsigned threads)
     : threads_(threads ? threads : ThreadPool::defaultThreadCount())
@@ -133,23 +179,9 @@ SweepRunner::run(const std::string &label, const std::vector<Job> &jobs,
         ThreadPool pool(threads_);
         for (size_t i = 0; i < jobs.size(); ++i) {
             pool.submit([&, i] {
-                Clock::time_point job_start = Clock::now();
                 const Job &job = jobs[i];
                 JobResult &out = results[i];
-                unsigned max_attempts = std::max(1u, job.maxAttempts);
-                for (unsigned attempt = 1; attempt <= max_attempts;
-                     ++attempt) {
-                    out.attempts = attempt;
-                    runAttempt(job, cache, out);
-                    if (out.ok || attempt == max_attempts)
-                        break;
-                    if (job.backoffSeconds > 0) {
-                        std::this_thread::sleep_for(
-                            std::chrono::duration<double>(
-                                job.backoffSeconds * attempt));
-                    }
-                }
-                out.wallSeconds = secondsSince(job_start);
+                out = executeJob(job, cache);
 
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 ++completed;

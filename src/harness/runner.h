@@ -16,6 +16,7 @@
 #ifndef RTDC_HARNESS_RUNNER_H
 #define RTDC_HARNESS_RUNNER_H
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,48 @@
 
 namespace rtd::harness {
 
+/**
+ * Execute one job to completion: watchdog, bounded retries with
+ * backoff, and crash isolation (fatal()/panic() anywhere in the
+ * generate → build → simulate pipeline become a structured failure row,
+ * never a process exit). This is the single definition of "run a job"
+ * shared by the batch SweepRunner and the rtdc_serve daemon's queue
+ * workers.
+ *
+ * @param external_cancel optional additional cancellation source (the
+ *        daemon's per-job cancel flag), OR-ed with the per-attempt
+ *        watchdog; when it fires the result is a timed-out failure row.
+ */
+JobResult executeJob(const Job &job, ArtifactCache &cache,
+                     const std::atomic<bool> *external_cancel = nullptr);
+
+/**
+ * Anything that can execute a list of sweep jobs and return their
+ * results in job-list order. SweepRunner is the in-process
+ * implementation; serve::RemoteExecutor submits the same jobs to a
+ * persistent rtdc_serve daemon instead. Registered sweeps run through
+ * this seam (SweepOptions::executor), which is what makes a daemon-
+ * served sweep byte-identical to a batch one: the job lists and all
+ * downstream table/JSON rendering are shared, only the execution
+ * transport differs.
+ */
+class JobExecutor
+{
+  public:
+    virtual ~JobExecutor() = default;
+
+    /**
+     * Execute every job and return their results in job-list order.
+     * @p cache shares expensive intermediates for local execution;
+     * remote implementations may ignore it (the daemon owns its own).
+     */
+    virtual std::vector<JobResult> run(const std::string &label,
+                                       const std::vector<Job> &jobs,
+                                       ArtifactCache &cache) = 0;
+};
+
 /** Parallel executor for sweep jobs. */
-class SweepRunner
+class SweepRunner : public JobExecutor
 {
   public:
     /** @param threads worker count; 0 means one per hardware thread. */
@@ -40,7 +81,7 @@ class SweepRunner
      */
     std::vector<JobResult> run(const std::string &label,
                                const std::vector<Job> &jobs,
-                               ArtifactCache &cache);
+                               ArtifactCache &cache) override;
 
   private:
     unsigned threads_;

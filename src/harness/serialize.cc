@@ -1,0 +1,398 @@
+#include "harness/serialize.h"
+
+#include <cstring>
+
+namespace rtd::harness {
+
+namespace {
+
+// Per-kind magics double as format-version stamps: bump the trailing
+// digit when the layout changes and old blobs become clean misses.
+constexpr char kProgramMagic[4] = {'R', 'T', 'P', '1'};
+constexpr char kImageMagic[4] = {'R', 'T', 'I', '1'};
+
+/** Sanity bound on any single count field (procs, words, bytes). A
+ *  legitimate artifact is a few MB; a corrupt count must not drive a
+ *  multi-GB allocation before the payload runs out. */
+constexpr uint64_t kMaxCount = 1ull << 28;
+
+class Writer
+{
+  public:
+    std::string take() { return std::move(out_); }
+
+    void u8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+    void u16(uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        out_.append(s);
+    }
+    void bytes(const std::vector<uint8_t> &v)
+    {
+        u64(v.size());
+        out_.append(reinterpret_cast<const char *>(v.data()), v.size());
+    }
+    void words(const std::vector<uint32_t> &v)
+    {
+        u64(v.size());
+        for (uint32_t w : v)
+            u32(w);
+    }
+
+  private:
+    std::string out_;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(std::string_view data) : data_(data) {}
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+    uint8_t u8()
+    {
+        if (pos_ + 1 > data_.size())
+            return failZero();
+        return static_cast<uint8_t>(data_[pos_++]);
+    }
+    uint16_t u16()
+    {
+        uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<uint16_t>(u8()) << (8 * i);
+        return v;
+    }
+    uint32_t u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+    uint64_t u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+
+    /** Count prefix with plausibility bound. */
+    uint64_t count()
+    {
+        uint64_t n = u64();
+        if (n > kMaxCount) {
+            ok_ = false;
+            return 0;
+        }
+        return n;
+    }
+
+    bool str(std::string &out)
+    {
+        uint64_t n = count();
+        if (!ok_ || pos_ + n > data_.size()) {
+            ok_ = false;
+            return false;
+        }
+        out.assign(data_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+    bool bytes(std::vector<uint8_t> &out)
+    {
+        uint64_t n = count();
+        if (!ok_ || pos_ + n > data_.size()) {
+            ok_ = false;
+            return false;
+        }
+        out.assign(
+            reinterpret_cast<const uint8_t *>(data_.data() + pos_),
+            reinterpret_cast<const uint8_t *>(data_.data() + pos_ + n));
+        pos_ += n;
+        return true;
+    }
+    bool words(std::vector<uint32_t> &out)
+    {
+        uint64_t n = count();
+        if (!ok_ || pos_ + n * 4 > data_.size()) {
+            ok_ = false;
+            return false;
+        }
+        out.resize(n);
+        for (uint64_t i = 0; i < n; ++i)
+            out[i] = u32();
+        return ok_;
+    }
+    bool magic(const char (&expect)[4])
+    {
+        if (pos_ + 4 > data_.size() ||
+            std::memcmp(data_.data() + pos_, expect, 4) != 0) {
+            ok_ = false;
+            return false;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+  private:
+    uint8_t failZero()
+    {
+        ok_ = false;
+        return 0;
+    }
+
+    std::string_view data_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+void
+putInst(Writer &w, const isa::Instruction &inst)
+{
+    w.u8(static_cast<uint8_t>(inst.op));
+    w.u8(inst.rs);
+    w.u8(inst.rt);
+    w.u8(inst.rd);
+    w.u8(inst.shamt);
+    w.u16(inst.imm);
+    w.u32(inst.target);
+}
+
+isa::Instruction
+getInst(Reader &r)
+{
+    isa::Instruction inst;
+    inst.op = static_cast<isa::Op>(r.u8());
+    inst.rs = r.u8();
+    inst.rt = r.u8();
+    inst.rd = r.u8();
+    inst.shamt = r.u8();
+    inst.imm = r.u16();
+    inst.target = r.u32();
+    return inst;
+}
+
+} // namespace
+
+std::string
+encodeProgram(const prog::Program &program)
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(kProgramMagic[0]));
+    w.u8(static_cast<uint8_t>(kProgramMagic[1]));
+    w.u8(static_cast<uint8_t>(kProgramMagic[2]));
+    w.u8(static_cast<uint8_t>(kProgramMagic[3]));
+    w.str(program.name);
+    w.u64(program.procs.size());
+    for (const prog::Procedure &proc : program.procs) {
+        w.str(proc.name);
+        w.u64(proc.code.size());
+        for (const prog::SymInst &sym : proc.code) {
+            putInst(w, sym.inst);
+            w.i32(sym.label);
+            w.i32(sym.callee);
+        }
+        w.u64(proc.labels.size());
+        for (int32_t label : proc.labels)
+            w.i32(label);
+    }
+    w.i32(program.entry);
+    w.bytes(program.data);
+    w.u32(program.dataSize);
+    w.u64(program.dataRelocs.size());
+    for (const prog::DataReloc &reloc : program.dataRelocs) {
+        w.u32(reloc.offset);
+        w.i32(reloc.proc);
+    }
+    return w.take();
+}
+
+bool
+decodeProgram(std::string_view bytes, prog::Program &out)
+{
+    Reader r(bytes);
+    if (!r.magic(kProgramMagic))
+        return false;
+    prog::Program program;
+    if (!r.str(program.name))
+        return false;
+    uint64_t nprocs = r.count();
+    if (!r.ok())
+        return false;
+    program.procs.resize(nprocs);
+    for (prog::Procedure &proc : program.procs) {
+        if (!r.str(proc.name))
+            return false;
+        uint64_t ninsts = r.count();
+        if (!r.ok())
+            return false;
+        proc.code.resize(ninsts);
+        for (prog::SymInst &sym : proc.code) {
+            sym.inst = getInst(r);
+            sym.label = r.i32();
+            sym.callee = r.i32();
+        }
+        uint64_t nlabels = r.count();
+        if (!r.ok())
+            return false;
+        proc.labels.resize(nlabels);
+        for (int32_t &label : proc.labels)
+            label = r.i32();
+    }
+    program.entry = r.i32();
+    if (!r.bytes(program.data))
+        return false;
+    program.dataSize = r.u32();
+    uint64_t nrelocs = r.count();
+    if (!r.ok())
+        return false;
+    program.dataRelocs.resize(nrelocs);
+    for (prog::DataReloc &reloc : program.dataRelocs) {
+        reloc.offset = r.u32();
+        reloc.proc = r.i32();
+    }
+    if (!r.atEnd())
+        return false;
+    out = std::move(program);
+    return true;
+}
+
+std::string
+encodeBuiltImage(const core::BuiltImage &built)
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(kImageMagic[0]));
+    w.u8(static_cast<uint8_t>(kImageMagic[1]));
+    w.u8(static_cast<uint8_t>(kImageMagic[2]));
+    w.u8(static_cast<uint8_t>(kImageMagic[3]));
+
+    const prog::LoadedImage &image = built.image;
+    w.str(image.name);
+    w.words(image.decompText);
+    w.u32(image.decompBase);
+    w.words(image.nativeText);
+    w.u32(image.nativeBase);
+    w.bytes(image.data);
+    w.u32(image.dataBase);
+    w.u32(image.dataSize);
+    w.u32(image.entry);
+    w.u32(image.stackTop);
+    w.u64(image.procs.size());
+    for (const prog::LinkedProc &proc : image.procs) {
+        w.str(proc.name);
+        w.i32(proc.progIndex);
+        w.u32(proc.base);
+        w.u32(proc.size);
+        w.u8(static_cast<uint8_t>(proc.region));
+    }
+
+    const compress::CompressedImage &cimage = built.cimage;
+    w.u8(static_cast<uint8_t>(cimage.scheme));
+    w.u64(cimage.segments.size());
+    for (const compress::CompressedSegment &segment : cimage.segments) {
+        w.str(segment.name);
+        w.u32(segment.base);
+        w.bytes(segment.bytes);
+    }
+    for (uint32_t c0 : cimage.c0)
+        w.u32(c0);
+    w.u32(cimage.crcUnitBytes);
+    w.u64(cimage.unitCrcs.size());
+    for (uint32_t crc : cimage.unitCrcs)
+        w.u32(crc);
+
+    w.u32(built.paddedRegionBytes);
+    return w.take();
+}
+
+bool
+decodeBuiltImage(std::string_view bytes, core::BuiltImage &out)
+{
+    Reader r(bytes);
+    if (!r.magic(kImageMagic))
+        return false;
+    core::BuiltImage built;
+
+    prog::LoadedImage &image = built.image;
+    if (!r.str(image.name) || !r.words(image.decompText))
+        return false;
+    image.decompBase = r.u32();
+    if (!r.words(image.nativeText))
+        return false;
+    image.nativeBase = r.u32();
+    if (!r.bytes(image.data))
+        return false;
+    image.dataBase = r.u32();
+    image.dataSize = r.u32();
+    image.entry = r.u32();
+    image.stackTop = r.u32();
+    uint64_t nprocs = r.count();
+    if (!r.ok())
+        return false;
+    image.procs.resize(nprocs);
+    for (prog::LinkedProc &proc : image.procs) {
+        if (!r.str(proc.name))
+            return false;
+        proc.progIndex = r.i32();
+        proc.base = r.u32();
+        proc.size = r.u32();
+        uint8_t region = r.u8();
+        if (region > static_cast<uint8_t>(prog::Region::Compressed))
+            return false;
+        proc.region = static_cast<prog::Region>(region);
+    }
+
+    compress::CompressedImage &cimage = built.cimage;
+    uint8_t scheme = r.u8();
+    if (scheme > static_cast<uint8_t>(compress::Scheme::HuffmanLine))
+        return false;
+    cimage.scheme = static_cast<compress::Scheme>(scheme);
+    uint64_t nsegments = r.count();
+    if (!r.ok())
+        return false;
+    cimage.segments.resize(nsegments);
+    for (compress::CompressedSegment &segment : cimage.segments) {
+        if (!r.str(segment.name))
+            return false;
+        segment.base = r.u32();
+        if (!r.bytes(segment.bytes))
+            return false;
+    }
+    for (uint32_t &c0 : cimage.c0)
+        c0 = r.u32();
+    cimage.crcUnitBytes = r.u32();
+    uint64_t ncrcs = r.count();
+    if (!r.ok())
+        return false;
+    cimage.unitCrcs.resize(ncrcs);
+    for (uint32_t &crc : cimage.unitCrcs)
+        crc = r.u32();
+
+    built.paddedRegionBytes = r.u32();
+    if (!r.atEnd())
+        return false;
+    out = std::move(built);
+    return true;
+}
+
+} // namespace rtd::harness

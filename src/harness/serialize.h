@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary serialization of the sweep harness's expensive artifacts —
+ * prog::Program and core::BuiltImage — for the disk-backed artifact
+ * store (src/serve/disk_cache.h).
+ *
+ * The format is a deliberately simple little-endian tag-length stream:
+ * a 4-byte magic + version per artifact kind, then each field in
+ * declaration order (strings and vectors are u64-count-prefixed).
+ * Encoding is deterministic — the same value always produces the same
+ * bytes — so blob content can be CRC-checked and compared across
+ * daemon restarts. Decoding is fully bounds-checked and returns false
+ * on any truncated, oversized, or wrong-magic input instead of
+ * asserting: a corrupt disk blob must degrade to a cache miss, never
+ * take down the daemon.
+ */
+
+#ifndef RTDC_HARNESS_SERIALIZE_H
+#define RTDC_HARNESS_SERIALIZE_H
+
+#include <string>
+#include <string_view>
+
+#include "core/system.h"
+#include "program/program.h"
+
+namespace rtd::harness {
+
+/// @name Program blobs
+/// @{
+std::string encodeProgram(const prog::Program &program);
+/** Decode @p bytes into @p out; false (out untouched) on malformed
+ *  input. */
+bool decodeProgram(std::string_view bytes, prog::Program &out);
+/// @}
+
+/// @name BuiltImage blobs (linked image + compressed image)
+/// @{
+std::string encodeBuiltImage(const core::BuiltImage &built);
+bool decodeBuiltImage(std::string_view bytes, core::BuiltImage &out);
+/// @}
+
+} // namespace rtd::harness
+
+#endif // RTDC_HARNESS_SERIALIZE_H

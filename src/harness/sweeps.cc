@@ -46,6 +46,39 @@ applyObserve(std::vector<Job> &jobs, const SweepOptions &opts)
     }
 }
 
+/**
+ * Run one job list the way SweepOptions asks: observe/poison knobs
+ * applied, executed locally or through the configured JobExecutor, and
+ * failures recorded for runSweep's keep-going summary. Every sweep
+ * function funnels through here, which is the whole executor seam —
+ * a remote sweep builds jobs and renders tables with exactly this code.
+ */
+std::vector<JobResult>
+runJobs(const std::string &label, std::vector<Job> &jobs,
+        ArtifactCache &cache, const SweepOptions &opts)
+{
+    applyObserve(jobs, opts);
+    if (!opts.poisonTag.empty()) {
+        for (Job &job : jobs) {
+            if (job.tag.find(opts.poisonTag) != std::string::npos)
+                job.workload.hotProcs = 0;  // generator rejects this
+        }
+    }
+    std::vector<JobResult> results;
+    if (opts.executor)
+        results = opts.executor->run(label, jobs, cache);
+    else
+        results = SweepRunner(opts.jobs).run(label, jobs, cache);
+    if (opts.failures) {
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].ok)
+                opts.failures->emplace_back(jobs[i].tag,
+                                            results[i].error);
+        }
+    }
+    return results;
+}
+
 /** Roll each observed job's metrics into the sink (tag-keyed). */
 void
 collectMetrics(ResultSink &sink, const std::vector<Job> &jobs,
@@ -103,9 +136,8 @@ runFigure4(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
-    applyObserve(jobs, opts);
     std::vector<JobResult> results =
-        SweepRunner(opts.jobs).run("figure4", jobs, cache);
+        runJobs("figure4", jobs, cache, opts);
     collectMetrics(sink, jobs, results, opts);
 
     for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
@@ -181,7 +213,6 @@ runFigure5(const SweepOptions &opts)
     constexpr size_t kThresholds = 7;
 
     ArtifactCache cache;
-    SweepRunner runner(opts.jobs);
 
     // Phase 1: native baseline + profiling run per benchmark.
     std::vector<workload::WorkloadSpec> specs;
@@ -195,9 +226,8 @@ runFigure5(const SweepOptions &opts)
         profile_jobs.push_back(pointJob(tag + "/profile", spec, machine,
                                         Scheme::None, false, {}, true));
     }
-    applyObserve(profile_jobs, opts);
     std::vector<JobResult> profiled =
-        runner.run("figure5:profile", profile_jobs, cache);
+        runJobs("figure5:profile", profile_jobs, cache, opts);
     collectMetrics(sink, profile_jobs, profiled, opts);
 
     // Phase 2: the selective-compression grid.
@@ -225,9 +255,8 @@ runFigure5(const SweepOptions &opts)
             }
         }
     }
-    applyObserve(grid, opts);
     std::vector<JobResult> results =
-        runner.run("figure5", grid, cache);
+        runJobs("figure5", grid, cache, opts);
     collectMetrics(sink, grid, results, opts);
 
     for (size_t b = 0; b < benchmarks.size(); ++b) {
@@ -306,9 +335,8 @@ runTable3(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
-    applyObserve(jobs, opts);
     std::vector<JobResult> results =
-        SweepRunner(opts.jobs).run("table3", jobs, cache);
+        runJobs("table3", jobs, cache, opts);
     collectMetrics(sink, jobs, results, opts);
 
     Table table({"benchmark", "D (paper)", "D+RF (paper)", "CP (paper)",
@@ -390,9 +418,8 @@ runAblationMemory(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
-    applyObserve(jobs, opts);
     std::vector<JobResult> results =
-        SweepRunner(opts.jobs).run("ablation_memory", jobs, cache);
+        runJobs("ablation_memory", jobs, cache, opts);
     collectMetrics(sink, jobs, results, opts);
 
     Table table({"benchmark", "mem latency", "native CPI", "D slowdown",
@@ -466,9 +493,8 @@ runAblationLinesize(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
-    applyObserve(jobs, opts);
     std::vector<JobResult> results =
-        SweepRunner(opts.jobs).run("ablation_linesize", jobs, cache);
+        runJobs("ablation_linesize", jobs, cache, opts);
     collectMetrics(sink, jobs, results, opts);
 
     Table table({"benchmark", "line", "miss ratio", "handler insns/miss",
@@ -574,9 +600,8 @@ runAblationHandler(const SweepOptions &opts)
     }
 
     ArtifactCache cache;
-    applyObserve(jobs, opts);
     std::vector<JobResult> results =
-        SweepRunner(opts.jobs).run("ablation_handler", jobs, cache);
+        runJobs("ablation_handler", jobs, cache, opts);
     collectMetrics(sink, jobs, results, opts);
 
     std::printf("\n--- cached vs uncached handler loads ---\n");
@@ -714,7 +739,14 @@ runSweep(const std::string &name, const SweepOptions &opts)
                          sweep.description);
         return 2;
     }
-    ResultSink sink = info->fn(opts);
+    // Keep-going semantics: failed jobs are collected here while the
+    // rest of the sweep runs and every output is still written; they
+    // are summarized afterwards and make the exit code nonzero.
+    std::vector<std::pair<std::string, std::string>> failures;
+    SweepOptions run_opts = opts;
+    if (!run_opts.failures)
+        run_opts.failures = &failures;
+    ResultSink sink = info->fn(run_opts);
     if (opts.writeJson) {
         std::string path = opts.outPath.empty()
                                ? "BENCH_" + std::string(info->name) +
@@ -730,6 +762,18 @@ runSweep(const std::string &name, const SweepOptions &opts)
             return 1;
         std::fprintf(stderr, "[%s] wrote %s\n", info->name,
                      opts.csvPath.c_str());
+    }
+    const auto &failed = *run_opts.failures;
+    if (!failed.empty()) {
+        std::fprintf(stderr,
+                     "[%s] %zu job%s failed (sweep kept going; outputs "
+                     "written):\n",
+                     info->name, failed.size(),
+                     failed.size() == 1 ? "" : "s");
+        for (const auto &[tag, error] : failed)
+            std::fprintf(stderr, "  %s: %s\n", tag.c_str(),
+                         error.c_str());
+        return 3;
     }
     return 0;
 }

@@ -14,11 +14,14 @@
 #define RTDC_HARNESS_SWEEPS_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/result_sink.h"
 
 namespace rtd::harness {
+
+class JobExecutor;  // runner.h
 
 /** How to execute a registered sweep. */
 struct SweepOptions
@@ -35,6 +38,27 @@ struct SweepOptions
      * stay byte-identical to pre-observability builds.
      */
     bool observe = false;
+    /**
+     * Where the sweep's jobs actually run. Null = a local SweepRunner
+     * with `jobs` threads (the historical behavior). The serve client
+     * plugs its RemoteExecutor in here, which is how `rtdc_client sweep`
+     * reuses the registered sweeps' job construction and rendering
+     * verbatim — only the transport differs, so the daemon-answered
+     * sweep is byte-identical to the batch one.
+     */
+    JobExecutor *executor = nullptr;
+    /**
+     * Fault-injection for the harness itself: every job whose tag
+     * contains this substring has its workload poisoned (hotProcs = 0,
+     * which the generator rejects), so the job fails and the sweep
+     * demonstrates keep-going + nonzero-exit semantics. Empty = off.
+     */
+    std::string poisonTag;
+    /**
+     * When non-null, every failed job appends (tag, error) here —
+     * runSweep uses it for the keep-going summary and its exit code.
+     */
+    std::vector<std::pair<std::string, std::string>> *failures = nullptr;
 
     /** Defaults from the environment: RTDC_JOBS, RTDC_BENCH_SCALE,
      *  RTDC_OBSERVE. */
@@ -57,8 +81,12 @@ const SweepInfo *findSweep(const std::string &name);
 
 /**
  * Run a registered sweep: print its tables, then write JSON/CSV per
- * @p opts. Returns a process exit code (2 = unknown sweep, 1 = output
- * file error, 0 = success).
+ * @p opts. Failed jobs never abort the sweep (keep-going: the remaining
+ * jobs run and the outputs are still written); they are summarized on
+ * stderr afterwards and turn the exit code nonzero.
+ *
+ * Returns a process exit code: 0 = success, 1 = output file error,
+ * 2 = unknown sweep, 3 = sweep completed but at least one job failed.
  */
 int runSweep(const std::string &name, const SweepOptions &opts);
 

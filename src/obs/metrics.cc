@@ -73,6 +73,17 @@ MetricsRegistry::counter(const std::string &name)
     return counters_.back().get();
 }
 
+Gauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    for (const auto &g : gauges_) {
+        if (g->name == name)
+            return g.get();
+    }
+    gauges_.push_back(std::make_unique<Gauge>(Gauge{name, 0}));
+    return gauges_.back().get();
+}
+
 Log2Histogram *
 MetricsRegistry::histogram(const std::string &name)
 {
@@ -90,6 +101,16 @@ MetricsRegistry::findCounter(const std::string &name) const
     for (const auto &c : counters_) {
         if (c->name == name)
             return c.get();
+    }
+    return nullptr;
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    for (const auto &g : gauges_) {
+        if (g->name == name)
+            return g.get();
     }
     return nullptr;
 }
@@ -115,6 +136,12 @@ MetricsRegistry::toJson() const
         histograms.set(h->name(), h->toJson());
     Json out = Json::object();
     out.set("counters", std::move(counters));
+    if (!gauges_.empty()) {
+        Json gauges = Json::object();
+        for (const auto &g : gauges_)
+            gauges.set(g->name, g->value);
+        out.set("gauges", std::move(gauges));
+    }
     out.set("histograms", std::move(histograms));
     return out;
 }

@@ -37,6 +37,21 @@ struct Counter
 };
 
 /**
+ * A named level value (can go up and down). Counters answer "how many
+ * ever happened"; gauges answer "how many right now" — queue depth,
+ * in-flight jobs, resident cache bytes. Added for the serve daemon's
+ * service metrics (DESIGN.md section 14), usable by any subsystem.
+ */
+struct Gauge
+{
+    std::string name;
+    int64_t value = 0;
+
+    void set(int64_t v) { value = v; }
+    void add(int64_t delta = 1) { value += delta; }
+};
+
+/**
  * A fixed-bucket base-2 logarithmic histogram of uint64 samples.
  *
  * Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
@@ -98,21 +113,27 @@ class MetricsRegistry
 
     /** Find-or-create by name. */
     Counter *counter(const std::string &name);
+    Gauge *gauge(const std::string &name);
     Log2Histogram *histogram(const std::string &name);
 
     /** Lookup without creating; nullptr when absent. */
     const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
     const Log2Histogram *findHistogram(const std::string &name) const;
 
     /**
      * {"counters":{name:value,..},"histograms":{name:{...},..}} with
-     * members in registration order — deterministic output.
+     * members in registration order — deterministic output. A "gauges"
+     * member appears only when at least one gauge is registered, so
+     * documents from gauge-free registries (every simulator run) keep
+     * their historical bytes.
      */
     harness::Json toJson() const;
 
   private:
     // unique_ptr-per-entry keeps addresses stable across registration.
     std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Gauge>> gauges_;
     std::vector<std::unique_ptr<Log2Histogram>> histograms_;
 };
 

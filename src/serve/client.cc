@@ -1,0 +1,195 @@
+#include "serve/client.h"
+
+#include <cstdio>
+
+#include "serve/wire.h"
+
+namespace rtd::serve {
+
+bool
+Client::connect(const std::string &socket_path, std::string &error)
+{
+    int fd = connectUnix(socket_path, error);
+    if (fd < 0)
+        return false;
+    channel_ = std::make_unique<LineChannel>(fd);
+    return true;
+}
+
+bool
+Client::call(const harness::Json &request, harness::Json &reply,
+             std::string &error)
+{
+    if (!channel_) {
+        error = "not connected";
+        return false;
+    }
+    if (!channel_->writeJson(request)) {
+        error = "write failed (daemon gone?)";
+        return false;
+    }
+    if (!channel_->readJson(reply, error)) {
+        if (error.empty())
+            error = "connection closed by daemon";
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** True when @p reply is {"ok":true,...}; else false with @p error. */
+bool
+replyOk(const harness::Json &reply, std::string &error)
+{
+    const harness::Json *ok = reply.find("ok");
+    if (ok && ok->kind() == harness::Json::Kind::Bool && ok->asBool())
+        return true;
+    const harness::Json *message = reply.find("error");
+    error = message && message->kind() == harness::Json::Kind::String
+                ? message->asString()
+                : "daemon refused the request";
+    return false;
+}
+
+} // namespace
+
+bool
+Client::ping(std::string &error)
+{
+    harness::Json request = harness::Json::object();
+    request.set("op", "ping");
+    harness::Json reply;
+    return call(request, reply, error) && replyOk(reply, error);
+}
+
+bool
+Client::submit(const std::string &label,
+               const std::vector<harness::Job> &jobs, uint64_t &sweep_id,
+               uint64_t &cached, std::string &error)
+{
+    harness::Json request = harness::Json::object();
+    request.set("op", "submit");
+    request.set("label", label);
+    harness::Json encoded = harness::Json::array();
+    for (const harness::Job &job : jobs)
+        encoded.push(encodeJob(job));
+    request.set("jobs", std::move(encoded));
+    harness::Json reply;
+    if (!call(request, reply, error) || !replyOk(reply, error))
+        return false;
+    const harness::Json *id = reply.find("sweep_id");
+    const harness::Json *cached_json = reply.find("cached");
+    if (!id || id->kind() != harness::Json::Kind::Int) {
+        error = "malformed submit reply";
+        return false;
+    }
+    sweep_id = static_cast<uint64_t>(id->asInt());
+    cached = cached_json && cached_json->kind() == harness::Json::Kind::Int
+                 ? static_cast<uint64_t>(cached_json->asInt())
+                 : 0;
+    return true;
+}
+
+bool
+Client::fetchResults(uint64_t sweep_id,
+                     std::vector<harness::JobResult> &results,
+                     uint64_t *cached_rows, std::string &error)
+{
+    harness::Json request = harness::Json::object();
+    request.set("op", "results");
+    request.set("sweep_id", sweep_id);
+    if (!channel_ || !channel_->writeJson(request)) {
+        error = "write failed (daemon gone?)";
+        return false;
+    }
+    uint64_t cached = 0;
+    for (;;) {
+        harness::Json row;
+        if (!channel_->readJson(row, error)) {
+            if (error.empty())
+                error = "connection closed mid-stream";
+            return false;
+        }
+        if (!replyOk(row, error))
+            return false;
+        const harness::Json *complete = row.find("complete");
+        if (complete && complete->kind() == harness::Json::Kind::Bool &&
+            complete->asBool())
+            break;
+        const harness::Json *index = row.find("job");
+        const harness::Json *result = row.find("result");
+        if (!index || index->kind() != harness::Json::Kind::Int ||
+            !result) {
+            error = "malformed result row";
+            return false;
+        }
+        size_t i = static_cast<size_t>(index->asInt());
+        if (i >= results.size()) {
+            error = "result row index out of range";
+            return false;
+        }
+        if (!decodeJobResult(*result, results[i])) {
+            error = "undecodable result row";
+            return false;
+        }
+        const harness::Json *from_cache = row.find("cached");
+        if (from_cache &&
+            from_cache->kind() == harness::Json::Kind::Bool &&
+            from_cache->asBool())
+            ++cached;
+    }
+    if (cached_rows)
+        *cached_rows = cached;
+    return true;
+}
+
+bool
+Client::shutdown(std::string &error)
+{
+    harness::Json request = harness::Json::object();
+    request.set("op", "shutdown");
+    harness::Json reply;
+    return call(request, reply, error) && replyOk(reply, error);
+}
+
+std::vector<harness::JobResult>
+RemoteExecutor::run(const std::string &label,
+                    const std::vector<harness::Job> &jobs,
+                    harness::ArtifactCache &cache)
+{
+    (void)cache;  // the daemon owns the artifact cache that matters
+    // Pre-mark every row as lost; each row that actually streams back
+    // is overwritten wholesale by its decode. On a transport failure
+    // mid-sweep the unfilled rows keep this structured failure, so the
+    // sweep's rendering code still runs and the exit code goes nonzero
+    // (keep-going shape, same as a local poisoned job).
+    std::vector<harness::JobResult> results(jobs.size());
+    for (harness::JobResult &row : results) {
+        row.ok = false;
+        row.error = "row never arrived from daemon";
+    }
+    std::string error;
+    uint64_t sweep_id = 0;
+    uint64_t cached_at_submit = 0;
+    uint64_t cached_rows = 0;
+    bool ok = client_.submit(label, jobs, sweep_id, cached_at_submit,
+                             error) &&
+              client_.fetchResults(sweep_id, results, &cached_rows,
+                                   error);
+    if (!ok) {
+        std::fprintf(stderr, "[%s] remote sweep failed: %s\n",
+                     label.c_str(), error.c_str());
+    } else {
+        std::fprintf(stderr,
+                     "[%s] %zu jobs via daemon (%llu answered from "
+                     "result index)\n",
+                     label.c_str(), jobs.size(),
+                     static_cast<unsigned long long>(cached_rows));
+    }
+    totalJobs_ += jobs.size();
+    totalCached_ += cached_rows;
+    return results;
+}
+
+} // namespace rtd::serve

@@ -1,0 +1,302 @@
+#include "serve/disk_cache.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "support/crc32.h"
+
+namespace rtd::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'T', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+/** Blobs larger than this are implausible and rejected unread. */
+constexpr uint32_t kMaxBlobBytes = 1u << 30;
+
+void
+putU32(std::string &out, uint32_t value)
+{
+    out.push_back(static_cast<char>(value));
+    out.push_back(static_cast<char>(value >> 8));
+    out.push_back(static_cast<char>(value >> 16));
+    out.push_back(static_cast<char>(value >> 24));
+}
+
+uint32_t
+getU32(const char *p)
+{
+    return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::string
+hexHash(uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string bytes;
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+        bytes.append(chunk, n);
+        if (bytes.size() > kMaxBlobBytes + 1024) {
+            std::fclose(f);
+            return false;
+        }
+    }
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (ok)
+        out = std::move(bytes);
+    return ok;
+}
+
+/**
+ * Parse a blob record. On success fills @p key and @p payload. The
+ * payload CRC is always checked; the caller separately compares @p key
+ * against the key it asked for.
+ */
+bool
+parseBlob(const std::string &bytes, std::string &key,
+          std::string &payload)
+{
+    if (bytes.size() < 20 ||
+        std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+        return false;
+    if (getU32(bytes.data() + 4) != kVersion)
+        return false;
+    uint32_t key_len = getU32(bytes.data() + 8);
+    if (key_len > kMaxBlobBytes || bytes.size() < 20ull + key_len)
+        return false;
+    size_t payload_header = 12ull + key_len;
+    uint32_t payload_len = getU32(bytes.data() + payload_header);
+    uint32_t stored_crc = getU32(bytes.data() + payload_header + 4);
+    size_t payload_off = payload_header + 8;
+    if (payload_len > kMaxBlobBytes ||
+        bytes.size() != payload_off + payload_len)
+        return false;
+    const uint8_t *payload_bytes =
+        reinterpret_cast<const uint8_t *>(bytes.data() + payload_off);
+    if (crc32(payload_bytes, payload_len) != stored_crc)
+        return false;
+    key.assign(bytes, 12, key_len);
+    payload.assign(bytes, payload_off, payload_len);
+    return true;
+}
+
+} // namespace
+
+DiskArtifactCache::DiskArtifactCache(std::string dir, uint64_t max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes)
+{
+    ::mkdir(dir_.c_str(), 0775);
+
+    // Index surviving blobs. Only well-formed names are considered;
+    // leftover ".tmp" files from a crashed writer are swept here.
+    // Full validation (key/CRC) is deferred to load() — a startup scan
+    // that read every payload would make warm restarts O(cache size).
+    std::vector<std::pair<int64_t, uint64_t>> by_mtime;  // (mtime, hash)
+    if (DIR *d = ::opendir(dir_.c_str())) {
+        while (dirent *e = ::readdir(d)) {
+            std::string name = e->d_name;
+            std::string path = dir_ + "/" + name;
+            if (name.size() > 4 &&
+                name.compare(name.size() - 4, 4, ".tmp") == 0) {
+                ::unlink(path.c_str());
+                continue;
+            }
+            if (name.size() != 21 ||
+                name.compare(16, 5, ".blob") != 0)
+                continue;
+            uint64_t hash = 0;
+            bool valid = true;
+            for (int i = 0; i < 16; ++i) {
+                char c = name[i];
+                int digit;
+                if (c >= '0' && c <= '9')
+                    digit = c - '0';
+                else if (c >= 'a' && c <= 'f')
+                    digit = c - 'a' + 10;
+                else {
+                    valid = false;
+                    break;
+                }
+                hash = hash << 4 | static_cast<uint64_t>(digit);
+            }
+            if (!valid)
+                continue;
+            struct stat st;
+            if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+                continue;
+            Entry entry;
+            entry.file = name;
+            // st_size bounds the payload from above; close enough for
+            // the size bound until load() sees the real payload length.
+            entry.payload =
+                st.st_size > 20 ? static_cast<uint64_t>(st.st_size) - 20
+                                : 0;
+            index_[hash] = entry;
+            by_mtime.emplace_back(static_cast<int64_t>(st.st_mtime),
+                                  hash);
+            totalPayload_ += index_[hash].payload;
+        }
+        ::closedir(d);
+    }
+    // Seed recency from mtimes: oldest file gets the lowest seq.
+    std::sort(by_mtime.begin(), by_mtime.end());
+    for (const auto &[mtime, hash] : by_mtime)
+        index_[hash].seq = nextSeq_++;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.bytes = totalPayload_;
+        evictLocked();
+    }
+}
+
+std::string
+DiskArtifactCache::pathFor(uint64_t hash) const
+{
+    return dir_ + "/" + hexHash(hash) + ".blob";
+}
+
+bool
+DiskArtifactCache::load(const std::string &key, std::string &bytes)
+{
+    uint64_t hash = harness::stableHash64(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(hash);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    std::string path = dir_ + "/" + it->second.file;
+    std::string raw, stored_key, payload;
+    if (!readWholeFile(path, raw) ||
+        !parseBlob(raw, stored_key, payload) || stored_key != key) {
+        // Bad magic, torn record, CRC failure, or a 64-bit hash
+        // collision with a different key: reject the blob so the
+        // caller rebuilds (and, on store, overwrites the file).
+        ++stats_.rejects;
+        removeLocked(hash);
+        return false;
+    }
+    // The startup scan only estimated the payload from the file size
+    // (it never reads records); now that we have parsed the record,
+    // settle the books with the exact payload length.
+    totalPayload_ -= it->second.payload;
+    it->second.payload = payload.size();
+    totalPayload_ += it->second.payload;
+    stats_.bytes = totalPayload_;
+    it->second.seq = nextSeq_++;
+    // Touch the file so LRU order survives a restart (best effort).
+    struct timespec times[2];
+    times[0].tv_sec = 0;
+    times[0].tv_nsec = UTIME_NOW;
+    times[1] = times[0];
+    ::utimensat(AT_FDCWD, path.c_str(), times, 0);
+    ++stats_.hits;
+    bytes = std::move(payload);
+    return true;
+}
+
+void
+DiskArtifactCache::store(const std::string &key, std::string_view bytes)
+{
+    if (bytes.size() > kMaxBlobBytes)
+        return;
+    uint64_t hash = harness::stableHash64(key);
+    std::string record;
+    record.reserve(20 + key.size() + bytes.size());
+    record.append(kMagic, sizeof kMagic);
+    putU32(record, kVersion);
+    putU32(record, static_cast<uint32_t>(key.size()));
+    record += key;
+    putU32(record, static_cast<uint32_t>(bytes.size()));
+    putU32(record,
+           crc32(reinterpret_cast<const uint8_t *>(bytes.data()),
+                 bytes.size()));
+    record.append(bytes.data(), bytes.size());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string path = pathFor(hash);
+    std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return;
+    bool ok =
+        std::fwrite(record.data(), 1, record.size(), f) == record.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return;
+    }
+    auto it = index_.find(hash);
+    if (it != index_.end())
+        totalPayload_ -= it->second.payload;
+    Entry &entry = index_[hash];
+    entry.file = hexHash(hash) + ".blob";
+    entry.payload = bytes.size();
+    entry.seq = nextSeq_++;
+    totalPayload_ += entry.payload;
+    ++stats_.stores;
+    stats_.bytes = totalPayload_;
+    evictLocked();
+}
+
+void
+DiskArtifactCache::evictLocked()
+{
+    if (maxBytes_ == 0)
+        return;
+    while (totalPayload_ > maxBytes_ && !index_.empty()) {
+        auto victim = index_.begin();
+        for (auto it = index_.begin(); it != index_.end(); ++it) {
+            if (it->second.seq < victim->second.seq)
+                victim = it;
+        }
+        removeLocked(victim->first);
+        ++stats_.evictions;
+    }
+}
+
+void
+DiskArtifactCache::removeLocked(uint64_t hash)
+{
+    auto it = index_.find(hash);
+    if (it == index_.end())
+        return;
+    ::unlink((dir_ + "/" + it->second.file).c_str());
+    totalPayload_ -= it->second.payload;
+    index_.erase(it);
+    stats_.bytes = totalPayload_;
+}
+
+DiskCacheStats
+DiskArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace rtd::serve

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Wire framing of the rtdc_serve protocol (DESIGN.md section 14).
+ *
+ * The protocol is line-delimited JSON over a local (AF_UNIX) stream
+ * socket: every request and every reply is exactly one JSON object on
+ * one '\n'-terminated line. Grammar:
+ *
+ *   request  := { "op": OPNAME, ...op-specific members }
+ *   reply    := { "ok": true, ... } | { "ok": false, "error": STRING }
+ *
+ *   op "ping"     -> { "ok": true }
+ *   op "submit"   { "label": S, "jobs": [JOB...] }
+ *                 -> { "ok": true, "sweep_id": N, "jobs": N,
+ *                      "cached": N }   (cached = result-index hits that
+ *                                       never touch the queue)
+ *   op "status"   { "sweep_id": N }
+ *                 -> { "ok": true, "state": "running"|"done"|
+ *                      "cancelled", "total": N, "done": N,
+ *                      "cached": N, "failed": N }
+ *   op "results"  { "sweep_id": N }
+ *                 -> a stream: one { "ok": true, "job": i,
+ *                      "result": JOBRESULT } line per job as each
+ *                    completes (result-index hits stream immediately),
+ *                    terminated by { "ok": true, "complete": true,
+ *                      "total": N, "cached": N, "failed": N }
+ *   op "cancel"   { "sweep_id": N } -> { "ok": true, "cancelled": N }
+ *   op "stats"    -> { "ok": true, "queue_depth": N, ...counters,
+ *                      "disk_cache": {...}, "metrics": {...} }
+ *   op "shutdown" -> { "ok": true } then the daemon stops serving.
+ *
+ * JOB and JOBRESULT are the serve::wire encodings (wire.h). Unknown
+ * ops and malformed lines get an { "ok": false } reply; the connection
+ * stays open (one bad request must not kill a client's other sweeps).
+ *
+ * This header also owns the low-level socket plumbing shared by daemon
+ * and client: listen/connect on a unix path and a buffered LineChannel
+ * that splits the stream back into lines (tolerating CRLF peers).
+ */
+
+#ifndef RTDC_SERVE_PROTO_H
+#define RTDC_SERVE_PROTO_H
+
+#include <string>
+
+#include "harness/json.h"
+
+namespace rtd::serve {
+
+/**
+ * Create, bind, and listen on a unix stream socket at @p path (an
+ * existing stale socket file is replaced). Returns the listening fd,
+ * or -1 with @p error filled.
+ */
+int listenUnix(const std::string &path, std::string &error);
+
+/** Connect to the daemon at @p path; -1 with @p error on failure. */
+int connectUnix(const std::string &path, std::string &error);
+
+/**
+ * Buffered '\n'-delimited framing over one socket fd. Reads tolerate
+ * CRLF line endings and partial segments; writes always emit exactly
+ * one '\n' per message and retry short writes. Not thread-safe: each
+ * connection is owned by one thread on each side.
+ */
+class LineChannel
+{
+  public:
+    /** Takes ownership of @p fd (closed on destruction). */
+    explicit LineChannel(int fd) : fd_(fd) {}
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Read the next line (without its terminator) into @p line.
+     * Returns false on EOF or a read error — the connection is done
+     * either way.
+     */
+    bool readLine(std::string &line);
+
+    /** Write @p line plus '\n'. False on a write error. */
+    bool writeLine(const std::string &line);
+
+    /** Serialize @p message compactly and write it as one line. */
+    bool writeJson(const harness::Json &message);
+
+    /**
+     * Read one line and parse it; false on EOF/parse error (with
+     * @p error filled on a parse error, empty on clean EOF).
+     */
+    bool readJson(harness::Json &message, std::string &error);
+
+    /** Close early (further reads/writes fail). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/// @name Reply builders
+/// @{
+harness::Json okReply();
+harness::Json errorReply(const std::string &message);
+/// @}
+
+} // namespace rtd::serve
+
+#endif // RTDC_SERVE_PROTO_H

@@ -1,0 +1,523 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "harness/runner.h"
+#include "serve/wire.h"
+#include "support/logging.h"
+
+namespace rtd::serve {
+
+namespace {
+
+/** Disk-store namespace prefix of the result index. Artifact keys
+ *  ("workload|...", "image|...") and result rows share one store; the
+ *  prefix keeps the two key spaces disjoint by construction. */
+const char kResultPrefix[] = "result|";
+
+} // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config))
+{
+    if (!config_.cacheDir.empty()) {
+        diskCache_ = std::make_unique<DiskArtifactCache>(
+            config_.cacheDir, config_.cacheMaxBytes);
+        artifacts_.setStore(diskCache_.get());
+    }
+    jobsDone_ = metrics_.counter("jobs_done");
+    jobsFailed_ = metrics_.counter("jobs_failed");
+    jobsCached_ = metrics_.counter("jobs_cached");
+    sweepsSubmitted_ = metrics_.counter("sweeps_submitted");
+    requests_ = metrics_.counter("requests");
+    queueDepth_ = metrics_.gauge("queue_depth");
+    runningJobs_ = metrics_.gauge("running_jobs");
+    connections_ = metrics_.gauge("connections");
+    jobWallMs_ = metrics_.histogram("job_wall_ms");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string &error)
+{
+    int fd = listenUnix(config_.socketPath, error);
+    if (fd < 0)
+        return false;
+    listenFd_.store(fd);
+    pool_ = std::make_unique<harness::ThreadPool>(config_.workers);
+    started_ = std::chrono::steady_clock::now();
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::waitForShutdown()
+{
+    std::unique_lock<std::mutex> lock(shutdownMutex_);
+    shutdownCv_.wait(lock, [this] { return shutdownRequested_; });
+}
+
+bool
+Server::waitForShutdownFor(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(shutdownMutex_);
+    if (!shutdownCv_.wait_for(lock, timeout,
+                              [this] { return shutdownRequested_; }))
+        return false;
+    lock.unlock();
+    stop();
+    return true;
+}
+
+void
+Server::stop()
+{
+    bool was_stopping = stopping_.exchange(true);
+    if (!was_stopping) {
+        // Unblock waitForShutdown() callers.
+        {
+            std::lock_guard<std::mutex> lock(shutdownMutex_);
+            shutdownRequested_ = true;
+        }
+        shutdownCv_.notify_all();
+        // Close the listener: accept() fails and the accept loop exits.
+        int listen_fd = listenFd_.exchange(-1);
+        if (listen_fd >= 0) {
+            ::shutdown(listen_fd, SHUT_RDWR);
+            ::close(listen_fd);
+        }
+        // Kick every connection out of its blocking read.
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            for (int fd : connFds_)
+                ::shutdown(fd, SHUT_RDWR);
+        }
+        // Cancel in-flight jobs so the pool drains quickly; queued
+        // tasks the pool discards stay not-done, which is fine — with
+        // every connection gone nobody is waiting on their rows.
+        {
+            std::lock_guard<std::mutex> lock(sweepMutex_);
+            for (auto &[id, sweep] : sweeps_) {
+                sweep->cancelled = true;
+                for (SweepJob &job : sweep->jobs)
+                    job.cancel->store(true, std::memory_order_relaxed);
+            }
+        }
+        sweepCv_.notify_all();
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Joining under connMutex_ would deadlock with a connection thread
+    // trying to deregister itself; swap the list out instead.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    pool_.reset();  // drains (discarding unstarted tasks) and joins
+    if (!was_stopping)
+        ::unlink(config_.socketPath.c_str());
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        int listen_fd = listenFd_.load();
+        if (listen_fd < 0)
+            break;
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_relaxed))
+                break;
+            if (errno == EINTR)
+                continue;
+            break;  // listener broken; daemon keeps running jobs
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        if (stopping_.load(std::memory_order_relaxed)) {
+            ::close(fd);
+            break;
+        }
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+Server::serveConnection(int fd)
+{
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        connections_->add(1);
+    }
+    {
+        LineChannel channel(fd);
+        std::string line;
+        while (!stopping_.load(std::memory_order_relaxed) &&
+               channel.readLine(line)) {
+            harness::Json request;
+            std::string parse_error;
+            if (!harness::Json::parse(line, &request, &parse_error)) {
+                // Malformed line: reply and keep the connection — one
+                // bad request must not kill a client's other traffic.
+                if (!channel.writeJson(errorReply("parse error: " +
+                                                  parse_error)))
+                    break;
+                continue;
+            }
+            const harness::Json *op = request.find("op");
+            if (!op || op->kind() != harness::Json::Kind::String) {
+                if (!channel.writeJson(errorReply("missing op")))
+                    break;
+                continue;
+            }
+            {
+                std::lock_guard<std::mutex> lock(metricsMutex_);
+                requests_->add(1);
+            }
+            const std::string &name = op->asString();
+            bool alive = true;
+            if (name == "ping") {
+                alive = channel.writeJson(okReply());
+            } else if (name == "submit") {
+                alive = channel.writeJson(handleSubmit(request));
+            } else if (name == "status") {
+                alive = channel.writeJson(handleStatus(request));
+            } else if (name == "results") {
+                alive = handleResults(request, channel);
+            } else if (name == "cancel") {
+                alive = channel.writeJson(handleCancel(request));
+            } else if (name == "stats") {
+                alive = channel.writeJson(handleStats());
+            } else if (name == "shutdown") {
+                channel.writeJson(okReply());
+                {
+                    std::lock_guard<std::mutex> lock(shutdownMutex_);
+                    shutdownRequested_ = true;
+                }
+                shutdownCv_.notify_all();
+                break;
+            } else {
+                alive =
+                    channel.writeJson(errorReply("unknown op: " + name));
+            }
+            if (!alive)
+                break;
+        }
+    }
+    // Deregister our fd (LineChannel already closed it).
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connFds_.erase(std::remove(connFds_.begin(), connFds_.end(), fd),
+                       connFds_.end());
+    }
+    std::lock_guard<std::mutex> lock(metricsMutex_);
+    connections_->add(-1);
+}
+
+harness::Json
+Server::handleSubmit(const harness::Json &request)
+{
+    const harness::Json *label = request.find("label");
+    const harness::Json *jobs = request.find("jobs");
+    if (!label || label->kind() != harness::Json::Kind::String ||
+        !jobs || jobs->kind() != harness::Json::Kind::Array)
+        return errorReply("submit needs label + jobs[]");
+
+    auto sweep = std::make_shared<Sweep>();
+    sweep->label = label->asString();
+    sweep->jobs.reserve(jobs->size());
+    for (size_t i = 0; i < jobs->size(); ++i) {
+        SweepJob entry;
+        if (!decodeJob(jobs->at(i), entry.job)) {
+            return errorReply("malformed job at index " +
+                              std::to_string(i));
+        }
+        entry.key = jobContentKey(entry.job);
+        entry.cancel = std::make_shared<std::atomic<bool>>(false);
+        sweep->jobs.push_back(std::move(entry));
+    }
+
+    // Incremental answering: every job whose content key already has an
+    // indexed ok row is done before it ever touches the queue.
+    size_t cached = 0;
+    for (SweepJob &entry : sweep->jobs) {
+        harness::JobResult row;
+        if (lookupResult(entry.key, row)) {
+            entry.result = std::move(row);
+            entry.done = true;
+            entry.fromCache = true;
+            ++cached;
+        }
+    }
+    sweep->completed = cached;
+    sweep->cached = cached;
+
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(sweepMutex_);
+        id = nextSweepId_++;
+        sweep->id = id;
+        sweeps_[id] = sweep;
+    }
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        sweepsSubmitted_->add(1);
+        jobsCached_->add(cached);
+        jobsDone_->add(cached);
+    }
+
+    // Shard the remaining jobs across the worker pool in submission
+    // order. Tasks hold the Sweep alive via shared_ptr. Depth is bumped
+    // before the first submit so it never dips negative while workers
+    // start pulling.
+    size_t queued = 0;
+    for (const SweepJob &entry : sweep->jobs)
+        queued += entry.done ? 0 : 1;
+    if (queued) {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        queueDepth_->add(static_cast<int64_t>(queued));
+    }
+    for (size_t i = 0; i < sweep->jobs.size(); ++i) {
+        if (sweep->jobs[i].done)
+            continue;
+        pool_->submit([this, sweep, i] { runSweepJob(sweep, i); });
+    }
+    sweepCv_.notify_all();
+
+    harness::Json reply = okReply();
+    reply.set("sweep_id", id);
+    reply.set("jobs", uint64_t(sweep->jobs.size()));
+    reply.set("cached", uint64_t(cached));
+    return reply;
+}
+
+void
+Server::runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index)
+{
+    SweepJob &entry = sweep->jobs[index];
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        queueDepth_->add(-1);
+        runningJobs_->add(1);
+    }
+    // executeJob never throws and never crashes the process: panics
+    // become structured failure rows, hangs are cancelled by the
+    // watchdog (the daemon wires its own cancel token in as well, so
+    // `cancel`/shutdown stop even jobs with no timeout of their own).
+    harness::JobResult result =
+        executeJob(entry.job, artifacts_, entry.cancel.get());
+
+    bool index_it = result.ok;
+    {
+        std::lock_guard<std::mutex> lock(sweepMutex_);
+        entry.result = std::move(result);
+        entry.done = true;
+        ++sweep->completed;
+        if (!entry.result.ok)
+            ++sweep->failed;
+    }
+    if (index_it)
+        indexResult(entry.key, sweep->jobs[index].result);
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        runningJobs_->add(-1);
+        jobsDone_->add(1);
+        if (!sweep->jobs[index].result.ok)
+            jobsFailed_->add(1);
+        jobWallMs_->record(static_cast<uint64_t>(
+            sweep->jobs[index].result.wallSeconds * 1000.0));
+    }
+    sweepCv_.notify_all();
+}
+
+bool
+Server::lookupResult(const std::string &key, harness::JobResult &out)
+{
+    {
+        std::lock_guard<std::mutex> lock(indexMutex_);
+        auto it = resultIndex_.find(key);
+        if (it != resultIndex_.end())
+            return decodeJobResult(it->second, out);
+    }
+    if (!diskCache_)
+        return false;
+    std::string bytes;
+    if (!diskCache_->load(kResultPrefix + key, bytes))
+        return false;
+    harness::Json row;
+    if (!harness::Json::parse(bytes, &row) || !decodeJobResult(row, out))
+        return false;  // stale/corrupt row degrades to a rerun
+    std::lock_guard<std::mutex> lock(indexMutex_);
+    resultIndex_.emplace(key, std::move(row));
+    return true;
+}
+
+void
+Server::indexResult(const std::string &key,
+                    const harness::JobResult &result)
+{
+    harness::Json row = encodeJobResult(result);
+    if (diskCache_)
+        diskCache_->store(kResultPrefix + key, row.dump());
+    std::lock_guard<std::mutex> lock(indexMutex_);
+    resultIndex_[key] = std::move(row);
+}
+
+harness::Json
+Server::handleStatus(const harness::Json &request)
+{
+    uint64_t id = 0;
+    const harness::Json *id_json = request.find("sweep_id");
+    if (!id_json || id_json->kind() != harness::Json::Kind::Int)
+        return errorReply("status needs sweep_id");
+    id = static_cast<uint64_t>(id_json->asInt());
+
+    std::lock_guard<std::mutex> lock(sweepMutex_);
+    auto it = sweeps_.find(id);
+    if (it == sweeps_.end())
+        return errorReply("unknown sweep_id");
+    const Sweep &sweep = *it->second;
+    harness::Json reply = okReply();
+    reply.set("state", sweep.cancelled ? "cancelled"
+              : sweep.completed == sweep.jobs.size() ? "done"
+                                                     : "running");
+    reply.set("total", uint64_t(sweep.jobs.size()));
+    reply.set("done", uint64_t(sweep.completed));
+    reply.set("cached", uint64_t(sweep.cached));
+    reply.set("failed", uint64_t(sweep.failed));
+    return reply;
+}
+
+bool
+Server::handleResults(const harness::Json &request, LineChannel &channel)
+{
+    const harness::Json *id_json = request.find("sweep_id");
+    if (!id_json || id_json->kind() != harness::Json::Kind::Int)
+        return channel.writeJson(errorReply("results needs sweep_id"));
+    uint64_t id = static_cast<uint64_t>(id_json->asInt());
+    std::shared_ptr<Sweep> sweep;
+    {
+        std::lock_guard<std::mutex> lock(sweepMutex_);
+        auto it = sweeps_.find(id);
+        if (it != sweeps_.end())
+            sweep = it->second;
+    }
+    if (!sweep)
+        return channel.writeJson(errorReply("unknown sweep_id"));
+
+    // Stream rows in submission order, each as soon as it is done —
+    // index hits flow immediately, live jobs as they finish. Submission
+    // order (not completion order) keeps the stream deterministic.
+    for (size_t i = 0; i < sweep->jobs.size(); ++i) {
+        harness::Json row;
+        {
+            std::unique_lock<std::mutex> lock(sweepMutex_);
+            sweepCv_.wait(lock, [&] {
+                return sweep->jobs[i].done ||
+                       (sweep->cancelled && stopping_.load());
+            });
+            if (!sweep->jobs[i].done)
+                return channel.writeJson(errorReply("daemon stopping"));
+            row = okReply();
+            row.set("job", uint64_t(i));
+            row.set("cached", sweep->jobs[i].fromCache);
+            row.set("result", encodeJobResult(sweep->jobs[i].result));
+        }
+        if (!channel.writeJson(row))
+            return false;  // peer went away; jobs keep running
+    }
+    harness::Json done = okReply();
+    {
+        std::lock_guard<std::mutex> lock(sweepMutex_);
+        done.set("complete", true);
+        done.set("total", uint64_t(sweep->jobs.size()));
+        done.set("cached", uint64_t(sweep->cached));
+        done.set("failed", uint64_t(sweep->failed));
+    }
+    return channel.writeJson(done);
+}
+
+harness::Json
+Server::handleCancel(const harness::Json &request)
+{
+    const harness::Json *id_json = request.find("sweep_id");
+    if (!id_json || id_json->kind() != harness::Json::Kind::Int)
+        return errorReply("cancel needs sweep_id");
+    uint64_t id = static_cast<uint64_t>(id_json->asInt());
+
+    size_t cancelled = 0;
+    {
+        std::lock_guard<std::mutex> lock(sweepMutex_);
+        auto it = sweeps_.find(id);
+        if (it == sweeps_.end())
+            return errorReply("unknown sweep_id");
+        Sweep &sweep = *it->second;
+        sweep.cancelled = true;
+        for (SweepJob &job : sweep.jobs) {
+            if (!job.done) {
+                job.cancel->store(true, std::memory_order_relaxed);
+                ++cancelled;
+            }
+        }
+    }
+    sweepCv_.notify_all();
+    harness::Json reply = okReply();
+    reply.set("cancelled", uint64_t(cancelled));
+    return reply;
+}
+
+harness::Json
+Server::handleStats()
+{
+    harness::Json reply = okReply();
+    double uptime = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - started_)
+                        .count();
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        reply.set("uptime_seconds", uptime);
+        reply.set("queue_depth", uint64_t(std::max<int64_t>(
+                                     0, queueDepth_->value)));
+        reply.set("running_jobs", uint64_t(std::max<int64_t>(
+                                      0, runningJobs_->value)));
+        reply.set("jobs_done", jobsDone_->value);
+        reply.set("jobs_failed", jobsFailed_->value);
+        reply.set("jobs_cached", jobsCached_->value);
+        reply.set("sweeps_submitted", sweepsSubmitted_->value);
+        reply.set("jobs_per_second",
+                  uptime > 0
+                      ? static_cast<double>(jobsDone_->value) / uptime
+                      : 0.0);
+        reply.set("metrics", metrics_.toJson());
+    }
+    reply.set("artifact_hits", artifacts_.hits());
+    reply.set("artifact_builds", artifacts_.builds());
+    reply.set("artifact_store_hits", artifacts_.storeHits());
+    if (diskCache_) {
+        DiskCacheStats disk = diskCache_->stats();
+        harness::Json disk_json = harness::Json::object();
+        disk_json.set("hits", disk.hits);
+        disk_json.set("misses", disk.misses);
+        disk_json.set("stores", disk.stores);
+        disk_json.set("evictions", disk.evictions);
+        disk_json.set("rejects", disk.rejects);
+        disk_json.set("bytes", disk.bytes);
+        reply.set("disk_cache", std::move(disk_json));
+    }
+    return reply;
+}
+
+} // namespace rtd::serve

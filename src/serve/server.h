@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The rtdc_serve daemon core (DESIGN.md section 14).
+ *
+ * A Server owns four long-lived things:
+ *
+ *  - the listening unix socket and one thread per accepted connection
+ *    (the protocol is synchronous per connection; concurrency comes
+ *    from many connections),
+ *  - one harness::ThreadPool of simulation workers shared by every
+ *    sweep — submitted jobs shard across it in submission order, and
+ *    each job runs through the same harness::executeJob the batch
+ *    SweepRunner uses (crash isolation and watchdogs included),
+ *  - one harness::ArtifactCache backed (optionally) by a
+ *    DiskArtifactCache, so programs and built images persist across
+ *    jobs, sweeps, clients, and daemon restarts,
+ *  - the incremental result index: finished ok rows keyed by
+ *    wire::jobContentKey, held in memory and persisted through the
+ *    same disk store under a "result|" prefix. A resubmitted sweep
+ *    re-runs only jobs whose content key has no indexed row; everything
+ *    else streams back immediately.
+ *
+ * Failure containment: a job that panics or hangs becomes a structured
+ * failure row (ok=false) in its sweep — the worker pool, the other
+ * sweeps, and every connection keep going. Failed rows are never
+ * indexed, so a poisoned job re-runs on resubmit instead of caching its
+ * failure.
+ *
+ * Determinism: results stream strictly in submission order and carry
+ * the exact values executeJob produced, so a client rendering a
+ * registered sweep through RemoteExecutor produces byte-identical
+ * tables and BENCH JSON to the local batch run.
+ */
+
+#ifndef RTDC_SERVE_SERVER_H
+#define RTDC_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/artifact_cache.h"
+#include "harness/job.h"
+#include "harness/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/disk_cache.h"
+#include "serve/proto.h"
+
+namespace rtd::serve {
+
+/** Daemon configuration. */
+struct ServerConfig
+{
+    std::string socketPath;
+    /** Disk store directory; empty = memory-only (no warm restarts). */
+    std::string cacheDir;
+    /** Disk store payload bound (0 = unbounded). */
+    uint64_t cacheMaxBytes = 512ull << 20;
+    /** Simulation worker threads; 0 = one per hardware thread. */
+    unsigned workers = 0;
+};
+
+/** One sweep daemon instance. Thread-safe; one per process normally. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start the accept + worker machinery. */
+    bool start(std::string &error);
+
+    /** Block until a client's shutdown op (or stop()). */
+    void waitForShutdown();
+
+    /**
+     * waitForShutdown with a timeout, for mains that also poll a signal
+     * flag. True when shutdown was requested within @p timeout.
+     */
+    bool waitForShutdownFor(std::chrono::milliseconds timeout);
+
+    /**
+     * Stop serving: close the listening socket, unblock and join every
+     * connection thread, cancel in-flight jobs, and drain the pool.
+     * Idempotent; also run by the destructor.
+     */
+    void stop();
+
+    const ServerConfig &config() const { return config_; }
+
+    /// @name Test hooks
+    /// @{
+    harness::ArtifactCache &artifacts() { return artifacts_; }
+    DiskArtifactCache *diskCache() { return diskCache_.get(); }
+    /// @}
+
+  private:
+    /** One submitted job and its (eventual) result row. */
+    struct SweepJob
+    {
+        harness::Job job;
+        std::string key;  ///< wire::jobContentKey(job)
+        /** External-cancel token handed to executeJob's watchdog. */
+        std::shared_ptr<std::atomic<bool>> cancel;
+        bool done = false;
+        bool fromCache = false;  ///< answered by the result index
+        harness::JobResult result;
+    };
+
+    /** One submitted sweep. Guarded by Server::sweepMutex_. */
+    struct Sweep
+    {
+        uint64_t id = 0;
+        std::string label;
+        std::vector<SweepJob> jobs;
+        size_t completed = 0;
+        size_t cached = 0;
+        size_t failed = 0;
+        bool cancelled = false;
+    };
+
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    /// @name Op handlers (reply is what goes back on the wire)
+    /// @{
+    harness::Json handleSubmit(const harness::Json &request);
+    harness::Json handleStatus(const harness::Json &request);
+    harness::Json handleCancel(const harness::Json &request);
+    harness::Json handleStats();
+    /** Streams rows itself; returns false when the peer went away. */
+    bool handleResults(const harness::Json &request,
+                       LineChannel &channel);
+    /// @}
+
+    /** Pool task: run sweep job @p index and publish its row. */
+    void runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index);
+
+    /**
+     * Result-index lookup for @p key: memory first, then the disk
+     * store ("result|" prefix). False when no valid row is indexed.
+     */
+    bool lookupResult(const std::string &key, harness::JobResult &out);
+    /** Index an ok row under @p key (memory + disk). */
+    void indexResult(const std::string &key,
+                     const harness::JobResult &result);
+
+    ServerConfig config_;
+    std::unique_ptr<DiskArtifactCache> diskCache_;
+    harness::ArtifactCache artifacts_;
+    std::unique_ptr<harness::ThreadPool> pool_;
+
+    /** Listening socket; stop() exchanges it to -1 while acceptLoop
+     *  reads it, hence atomic. */
+    std::atomic<int> listenFd_{-1};
+    std::thread acceptThread_;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;  ///< open fds, for shutdown() on stop
+
+    /** Guards sweeps_ and every Sweep it owns; cv signals row
+     *  completion to streaming `results` handlers. */
+    std::mutex sweepMutex_;
+    std::condition_variable sweepCv_;
+    std::map<uint64_t, std::shared_ptr<Sweep>> sweeps_;
+    uint64_t nextSweepId_ = 1;
+
+    std::mutex indexMutex_;
+    std::unordered_map<std::string, harness::Json> resultIndex_;
+
+    /** Shutdown-op latch for waitForShutdown(). */
+    std::mutex shutdownMutex_;
+    std::condition_variable shutdownCv_;
+    bool shutdownRequested_ = false;
+
+    /** Service metrics (obs::MetricsRegistry is single-threaded by
+     *  design; the daemon guards it with metricsMutex_). */
+    std::mutex metricsMutex_;
+    obs::MetricsRegistry metrics_;
+    obs::Counter *jobsDone_ = nullptr;
+    obs::Counter *jobsFailed_ = nullptr;
+    obs::Counter *jobsCached_ = nullptr;
+    obs::Counter *sweepsSubmitted_ = nullptr;
+    obs::Counter *requests_ = nullptr;
+    obs::Gauge *queueDepth_ = nullptr;
+    obs::Gauge *runningJobs_ = nullptr;
+    obs::Gauge *connections_ = nullptr;
+    obs::Log2Histogram *jobWallMs_ = nullptr;
+    /** start() time, for the jobs/sec rate in `stats`. */
+    std::chrono::steady_clock::time_point started_;
+};
+
+} // namespace rtd::serve
+
+#endif // RTDC_SERVE_SERVER_H

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Edge-case suite for the harness JSON model (harness/json.{h,cc}).
+ *
+ * The serve wire protocol made the parser's failure modes load-bearing:
+ * a daemon must survive arbitrary bytes on its socket, and a decoded
+ * job must mean exactly what was encoded. These tests pin the corners —
+ * string escapes in both directions, CR/LF handling, non-finite
+ * doubles, full-range 64-bit integers, exact double round-trips, and
+ * the bounded-depth guard that turns hostile nesting into a parse error
+ * instead of a stack overflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "harness/json.h"
+
+using rtd::harness::Json;
+
+// ---------------------------------------------------------------------
+// String escapes
+// ---------------------------------------------------------------------
+
+TEST(JsonEdge, EscapedStringsRoundTrip)
+{
+    // Every escape the emitter produces, plus an embedded NUL.
+    std::string nasty = "quote:\" backslash:\\ bell:\b feed:\f "
+                        "newline:\n return:\r tab:\t";
+    nasty.push_back('\0');
+    nasty += "after-nul";
+
+    Json doc = Json::object();
+    doc.set("s", nasty);
+    std::string text = doc.dump();
+    // Control characters never appear raw in the output.
+    for (char c : text)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, &parsed, &error)) << error;
+    EXPECT_EQ(parsed.get("s").asString(), nasty);
+}
+
+TEST(JsonEdge, ParsesStandardEscapesAndUnicode)
+{
+    Json out;
+    ASSERT_TRUE(Json::parse(R"("a\/b A é €")", &out));
+    // A = 'A'; é and € decode to their UTF-8 bytes.
+    EXPECT_EQ(out.asString(), "a/b A \xc3\xa9 \xe2\x82\xac");
+}
+
+TEST(JsonEdge, RejectsBadEscapes)
+{
+    Json out;
+    EXPECT_FALSE(Json::parse(R"("\q")", &out));      // unknown escape
+    EXPECT_FALSE(Json::parse(R"("\u12")", &out));    // truncated \u
+    EXPECT_FALSE(Json::parse(R"("\u12zq")", &out));  // non-hex \u
+    EXPECT_FALSE(Json::parse("\"dangling\\", &out)); // escape at EOF
+    EXPECT_FALSE(Json::parse("\"unterminated", &out));
+}
+
+TEST(JsonEdge, CrLfWhitespaceIsInsignificant)
+{
+    // A peer that frames lines with \r\n (or pretty-prints with either
+    // convention) must parse identically to compact JSON.
+    Json a, b;
+    ASSERT_TRUE(Json::parse("{\"x\":\t[1,\r\n 2,\r\n 3]\r\n}\r\n", &a));
+    ASSERT_TRUE(Json::parse("{\"x\":[1,2,3]}", &b));
+    EXPECT_EQ(a.dump(), b.dump());
+    // ...but a *literal* CR inside a string is data, not framing.
+    Json s;
+    ASSERT_TRUE(Json::parse("\"a\\r\\nb\"", &s));
+    EXPECT_EQ(s.asString(), "a\r\nb");
+}
+
+// ---------------------------------------------------------------------
+// Numbers
+// ---------------------------------------------------------------------
+
+TEST(JsonEdge, NonFiniteDoublesDegradeToNull)
+{
+    // JSON has no NaN/Infinity literal; emitting one would hand an
+    // unparseable line to the wire peer. The conventional mapping is
+    // null, on construction (so dump() can never misfire).
+    EXPECT_TRUE(Json(std::nan("")).isNull());
+    EXPECT_TRUE(Json(std::numeric_limits<double>::infinity()).isNull());
+    EXPECT_TRUE(Json(-std::numeric_limits<double>::infinity()).isNull());
+    EXPECT_TRUE(Json::exactDouble(std::nan("")).isNull());
+
+    Json doc = Json::object();
+    doc.set("bad", std::nan(""));
+    EXPECT_EQ(doc.dump(), "{\"bad\":null}");
+    Json back;
+    ASSERT_TRUE(Json::parse(doc.dump(), &back));
+    EXPECT_TRUE(back.get("bad").isNull());
+}
+
+TEST(JsonEdge, Int64ExtremesRoundTripExactly)
+{
+    Json doc = Json::object();
+    doc.set("min", std::numeric_limits<int64_t>::min());
+    doc.set("max", std::numeric_limits<int64_t>::max());
+    doc.set("u53", uint64_t{1} << 53);  // past double's exact range
+
+    Json back;
+    std::string error;
+    ASSERT_TRUE(Json::parse(doc.dump(), &back, &error)) << error;
+    EXPECT_EQ(back.get("min").kind(), Json::Kind::Int);
+    EXPECT_EQ(back.get("min").asInt(),
+              std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(back.get("max").asInt(),
+              std::numeric_limits<int64_t>::max());
+    EXPECT_EQ(back.get("u53").asInt(), int64_t{1} << 53);
+}
+
+TEST(JsonEdge, IntegerOverflowFallsBackToDouble)
+{
+    // One past INT64_MAX cannot stay integral; it degrades to the
+    // nearest double instead of failing the whole document.
+    Json out;
+    ASSERT_TRUE(Json::parse("9223372036854775808", &out));
+    EXPECT_EQ(out.kind(), Json::Kind::Double);
+    EXPECT_DOUBLE_EQ(out.asDouble(), 9223372036854775808.0);
+}
+
+TEST(JsonEdge, ExactDoubleRoundTripsBitForBit)
+{
+    // %.10g (the sinks' compact default) loses bits on purpose; the
+    // wire codecs use exactDouble to get them all back.
+    const double values[] = {0.1, 1.0 / 3.0, 2.515, 6.02214076e23,
+                             -1.7976931348623157e308, 5e-324};
+    for (double v : values) {
+        Json back;
+        ASSERT_TRUE(Json::parse(Json::exactDouble(v).dump(), &back));
+        EXPECT_EQ(back.asDouble(), v) << v;
+    }
+}
+
+TEST(JsonEdge, RejectsMalformedNumbers)
+{
+    Json out;
+    EXPECT_FALSE(Json::parse("1.2.3", &out));
+    EXPECT_FALSE(Json::parse("1e", &out));
+    EXPECT_FALSE(Json::parse("-", &out));
+    EXPECT_FALSE(Json::parse("0x10", &out));
+}
+
+// ---------------------------------------------------------------------
+// Nesting depth
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+nested(int depth, char open, char close)
+{
+    std::string text(depth, open);
+    text.append(depth, close);
+    return text;
+}
+
+} // namespace
+
+TEST(JsonEdge, DeepNestingWithinLimitParses)
+{
+    Json out;
+    std::string error;
+    ASSERT_TRUE(Json::parse(nested(Json::maxParseDepth, '[', ']'), &out,
+                            &error))
+        << error;
+}
+
+TEST(JsonEdge, HostileNestingIsAParseErrorNotACrash)
+{
+    // One level past the limit, and *far* past it (the case that would
+    // smash the stack without the guard).
+    Json out;
+    std::string error;
+    EXPECT_FALSE(Json::parse(nested(Json::maxParseDepth + 1, '[', ']'),
+                             &out, &error));
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+    EXPECT_FALSE(
+        Json::parse(nested(100000, '[', ']'), &out, &error));
+
+    // Mixed object/array nesting hits the same guard.
+    std::string mixed;
+    for (int i = 0; i < Json::maxParseDepth + 1; ++i)
+        mixed += "{\"k\":[";
+    EXPECT_FALSE(Json::parse(mixed, &out, &error));
+}
+
+TEST(JsonEdge, DuplicateObjectKeysKeepTheFirst)
+{
+    Json out;
+    ASSERT_TRUE(Json::parse("{\"k\":1,\"k\":2}", &out));
+    EXPECT_EQ(out.get("k").asInt(), 1);
+    EXPECT_EQ(out.size(), 1u);
+}
