@@ -2,10 +2,11 @@
  * @file
  * Host simulation-speed bench: wall-clock MIPS (millions of simulated
  * instructions per second of host time) for native, dictionary and
- * CodePack runs of the cc1 stand-in, across the three execution
+ * CodePack runs of the cc1 stand-in, across the four execution
  * engines: the legacy decode-per-fetch interpreter, the predecoded
- * engine (PR "predecode", CpuConfig::predecode), and the
- * block-structured engine on top of it (CpuConfig::blockExec). This
+ * engine (CpuConfig::predecode), the block-structured engine on top of
+ * it (CpuConfig::blockExec), and the superblock/trace engine with
+ * threaded dispatch on top of that (CpuConfig::superblockExec). This
  * establishes the perf trajectory the ROADMAP asks for: future PRs
  * report speedups against the recorded baseline.
  *
@@ -14,18 +15,22 @@
  * "simperf"`, rows with `wall_seconds`/`host_mips`) and is explicitly
  * *excluded* from the harness's byte-identical-rows determinism
  * contract. The simulated results themselves stay deterministic: each
- * scheme's three runs are asserted identical on every RunStats counter
+ * scheme's four runs are asserted identical on every RunStats counter
  * before any timing is reported.
  *
  * `--smoke` (used by the `simperf_smoke` ctest) additionally re-parses
  * the written JSON and fails unless every row has the expected keys and
  * a nonzero MIPS figure — never a performance threshold.
  *
- * `--parity` (used by the `blocks_parity_smoke` ctest) runs each scheme
- * once per engine, asserts full RunStats identity, and writes nothing:
- * a fast, deterministic guard on the block engine's invalidation paths.
+ * `--parity` (used by the `superblock_parity_smoke` ctest) runs every
+ * combination of the three engine flags — all eight, not just the four
+ * named engines, so half-enabled states are covered too — across all
+ * five schemes, asserts full RunStats identity, and writes nothing. It
+ * exits nonzero naming the first diverging field, scheme and flag
+ * combination: a fast, deterministic guard on the invalidation and
+ * relink paths.
  *
- * `--observe` times the blocks engine with SystemConfig::observe off
+ * `--observe` times the default engine with SystemConfig::observe off
  * and on over the same BuiltImage, asserts the simulated RunStats are
  * identical either way, and reports the observation overhead — the
  * measured cost of the src/obs/ hook sites when someone *is* watching.
@@ -59,20 +64,22 @@ namespace {
 using namespace rtd;
 using compress::Scheme;
 
-/** The three execution engines, in baseline-to-fastest order. */
+/** The four execution engines, in baseline-to-fastest order. */
 struct EngineConfig
 {
     const char *name;
     bool predecode;
     bool blockExec;
+    bool superblockExec;
 };
 
 constexpr EngineConfig kEngines[] = {
-    {"legacy", false, false},
-    {"predecode", true, false},
-    {"blocks", true, true},
+    {"legacy", false, false, false},
+    {"predecode", true, false, false},
+    {"blocks", true, true, false},
+    {"superblock", true, true, true},
 };
-constexpr int kNumEngines = 3;
+constexpr int kNumEngines = 4;
 
 struct TimedRun
 {
@@ -107,21 +114,22 @@ finishMips(TimedRun &run)
 }
 
 /**
- * Time all three engines over the same BuiltImage, keeping each side's
+ * Time all four engines over the same BuiltImage, keeping each side's
  * fastest wall time (the standard noise-robust estimator: interference
  * only ever slows a run down). Repetitions are interleaved
- * legacy/predecode/blocks so a sustained slow period on the host hits
- * every engine rather than biasing the speedups. The simulated results
- * are identical across engines and reps.
+ * legacy/predecode/blocks/superblock so a sustained slow period on the
+ * host hits every engine rather than biasing the speedups. The
+ * simulated results are identical across engines and reps.
  */
 void
-timedTriple(const std::shared_ptr<const core::BuiltImage> &built,
-            core::SystemConfig config, int reps, TimedRun out[kNumEngines])
+timedQuad(const std::shared_ptr<const core::BuiltImage> &built,
+          core::SystemConfig config, int reps, TimedRun out[kNumEngines])
 {
     for (int i = 0; i < reps; ++i) {
         for (int e = 0; e < kNumEngines; ++e) {
             config.cpu.predecode = kEngines[e].predecode;
             config.cpu.blockExec = kEngines[e].blockExec;
+            config.cpu.superblockExec = kEngines[e].superblockExec;
             timeOnce(built, config, i == 0, out[e]);
         }
     }
@@ -202,11 +210,13 @@ validateJson(const std::string &path, std::string &error)
         return false;
     }
     bool sawBlocks = false;
+    bool sawSuperblock = false;
     for (size_t i = 0; i < rows->size(); ++i) {
         const harness::Json &row = rows->at(i);
         for (const char *key :
-             {"scheme", "engine", "predecode", "block_exec", "user_insns",
-              "handler_insns", "wall_seconds", "host_mips"}) {
+             {"scheme", "engine", "predecode", "block_exec",
+              "superblock_exec", "user_insns", "handler_insns",
+              "wall_seconds", "host_mips"}) {
             if (!row.find(key)) {
                 error = std::string("row missing key ") + key;
                 return false;
@@ -216,7 +226,13 @@ validateJson(const std::string &path, std::string &error)
             error = "zero host_mips";
             return false;
         }
-        if (row.get("block_exec").asBool()) {
+        if (row.get("superblock_exec").asBool()) {
+            sawSuperblock = true;
+            if (!row.find("speedup_vs_blocks")) {
+                error = "superblock row missing speedup_vs_blocks";
+                return false;
+            }
+        } else if (row.get("block_exec").asBool()) {
             sawBlocks = true;
             if (!row.find("speedup_vs_predecode")) {
                 error = "block row missing speedup_vs_predecode";
@@ -228,11 +244,15 @@ validateJson(const std::string &path, std::string &error)
         error = "no block_exec rows";
         return false;
     }
+    if (!sawSuperblock) {
+        error = "no superblock_exec rows";
+        return false;
+    }
     return true;
 }
 
 /**
- * --observe: time the blocks engine with observation off vs on, assert
+ * --observe: time the default engine with observation off vs on, assert
  * the simulated results are identical, report the overhead.
  */
 int
@@ -272,34 +292,47 @@ runObserve(double scale)
     return 0;
 }
 
-/** --parity: one run per engine per scheme, full RunStats identity. */
+/**
+ * --parity: one run per engine-flag combination per scheme, full
+ * RunStats identity. All eight (predecode, blockExec, superblockExec)
+ * combinations run, not just the four named engines: half-enabled
+ * states (e.g. superblockExec without blockExec) must fall back to the
+ * slower path with identical results, or a config typo in a sweep
+ * would silently change the physics.
+ */
 int
 runParity(double scale)
 {
     prog::Program program = bench::generateBenchmark(
         workload::paperBenchmark("cc1"), scale);
     for (Scheme scheme :
-         {Scheme::None, Scheme::Dictionary, Scheme::CodePack}) {
+         {Scheme::None, Scheme::Dictionary, Scheme::CodePack,
+          Scheme::ProcLzrw1, Scheme::HuffmanLine}) {
         core::SystemConfig config;
         config.cpu = core::paperMachine();
         config.scheme = scheme;
         auto built = std::make_shared<const core::BuiltImage>(
             core::buildImage(program, config));
         cpu::RunStats ref;
-        for (int e = 0; e < kNumEngines; ++e) {
-            config.cpu.predecode = kEngines[e].predecode;
-            config.cpu.blockExec = kEngines[e].blockExec;
+        for (int combo = 0; combo < 8; ++combo) {
+            config.cpu.predecode = (combo & 1) != 0;
+            config.cpu.blockExec = (combo & 2) != 0;
+            config.cpu.superblockExec = (combo & 4) != 0;
+            char label[40];
+            std::snprintf(label, sizeof label,
+                          "predecode=%d,blocks=%d,superblock=%d",
+                          combo & 1, (combo >> 1) & 1, (combo >> 2) & 1);
             core::System system(built, config);
             cpu::RunStats stats = system.run().stats;
-            if (e == 0)
+            if (combo == 0)
                 ref = stats;
             else
                 assertParity(stats, ref, compress::schemeName(scheme),
-                             kEngines[e].name);
+                             label);
         }
         std::printf("parity ok: %-10s (all RunStats counters identical "
-                    "across %d engines)\n",
-                    compress::schemeName(scheme), kNumEngines);
+                    "across 8 engine-flag combinations)\n",
+                    compress::schemeName(scheme));
     }
     return 0;
 }
@@ -323,7 +356,7 @@ main(int argc, char **argv)
 
     setInformEnabled(false);
     if (parity) {
-        std::printf("=== simperf: block-engine parity check ===\n");
+        std::printf("=== simperf: engine parity check ===\n");
         return runParity(bench::announceScale());
     }
     if (observe) {
@@ -345,8 +378,8 @@ main(int argc, char **argv)
         workload::paperBenchmark("cc1"), scale);
 
     Table table({"scheme", "engine", "sim insns", "wall s", "host MIPS",
-                 "vs legacy", "vs predecode"});
-    double dict_block_speedup = 0.0;
+                 "vs legacy", "vs predecode", "vs blocks"});
+    double codepack_sb_speedup = 0.0;
     for (Scheme scheme :
          {Scheme::None, Scheme::Dictionary, Scheme::CodePack}) {
         core::SystemConfig config;
@@ -357,7 +390,7 @@ main(int argc, char **argv)
 
         const int reps = smoke ? 1 : 7;
         TimedRun runs[kNumEngines];
-        timedTriple(built, config, reps, runs);
+        timedQuad(built, config, reps, runs);
         for (int e = 1; e < kNumEngines; ++e) {
             assertParity(runs[e].result.stats, runs[0].result.stats,
                          compress::schemeName(scheme), kEngines[e].name);
@@ -368,11 +401,14 @@ main(int argc, char **argv)
             double vs_legacy = e > 0 && runs[0].hostMips > 0.0
                                    ? run.hostMips / runs[0].hostMips
                                    : 0.0;
-            double vs_predecode = e == 2 && runs[1].hostMips > 0.0
+            double vs_predecode = e >= 2 && runs[1].hostMips > 0.0
                                       ? run.hostMips / runs[1].hostMips
                                       : 0.0;
-            if (e == 2 && scheme == Scheme::Dictionary)
-                dict_block_speedup = vs_predecode;
+            double vs_blocks = e == 3 && runs[2].hostMips > 0.0
+                                   ? run.hostMips / runs[2].hostMips
+                                   : 0.0;
+            if (e == 3 && scheme == Scheme::CodePack)
+                codepack_sb_speedup = vs_blocks;
             uint64_t insns = run.result.stats.userInsns +
                              run.result.stats.handlerInsns;
             table.addRow({
@@ -382,7 +418,8 @@ main(int argc, char **argv)
                 fmtDouble(run.wallSeconds, 3),
                 fmtDouble(run.hostMips, 1),
                 e > 0 ? fmtDouble(vs_legacy, 2) + "x" : "-",
-                e == 2 ? fmtDouble(vs_predecode, 2) + "x" : "-",
+                e >= 2 ? fmtDouble(vs_predecode, 2) + "x" : "-",
+                e == 3 ? fmtDouble(vs_blocks, 2) + "x" : "-",
             });
 
             harness::Json row = harness::Json::object();
@@ -390,6 +427,7 @@ main(int argc, char **argv)
             row.set("engine", kEngines[e].name);
             row.set("predecode", kEngines[e].predecode);
             row.set("block_exec", kEngines[e].blockExec);
+            row.set("superblock_exec", kEngines[e].superblockExec);
             row.set("user_insns", run.result.stats.userInsns);
             row.set("handler_insns", run.result.stats.handlerInsns);
             row.set("cycles", run.result.stats.cycles);
@@ -397,8 +435,10 @@ main(int argc, char **argv)
             row.set("host_mips", run.hostMips);
             if (e > 0)
                 row.set("speedup_vs_decode", vs_legacy);
-            if (e == 2)
+            if (e >= 2)
                 row.set("speedup_vs_predecode", vs_predecode);
+            if (e == 3)
+                row.set("speedup_vs_blocks", vs_blocks);
             sink.addRow(std::move(row));
         }
     }
@@ -407,9 +447,10 @@ main(int argc, char **argv)
                 "second of host wall-clock;\nspeedups compare engines on "
                 "the same BuiltImage (legacy = decode per fetch,\n"
                 "predecode = decode-once caches, blocks = block-"
-                "structured dispatch on top).\n"
-                "Dictionary blocks-vs-predecode speedup: %.2fx\n",
-                dict_block_speedup);
+                "structured dispatch on top,\nsuperblock = trace-linked "
+                "threaded dispatch on top of that).\n"
+                "CodePack superblock-vs-blocks speedup: %.2fx\n",
+                codepack_sb_speedup);
 
     const std::string path = "BENCH_simperf.json";
     if (!sink.writeJson(path))

@@ -37,6 +37,7 @@
 #include "isa/blocks.h"
 #include "isa/isa.h"
 #include "isa/predecode.h"
+#include "isa/superblock.h"
 #include "mem/handler_ram.h"
 #include "mem/main_memory.h"
 #include "proccache/manager.h"
@@ -101,10 +102,24 @@ struct CpuConfig
      * back to per-instruction stepping under profiling, tracing, and
      * the procedure-cache baseline. Host-side memoization only —
      * RunStats are identical either way (tests/cpu/test_blocks.cc and
-     * the blocks_parity_smoke ctest assert it); off = escape hatch and
-     * perf baseline.
+     * the superblock_parity_smoke ctest assert it); off = escape hatch
+     * and perf baseline.
      */
     bool blockExec = true;
+    /**
+     * Superblock (trace) execution engine: chain the blocks the program
+     * actually executes — across predicted-taken and unconditional
+     * branches — into superblocks with inline-cached successor
+     * pointers, each link validated by the line generation stamps, and
+     * dispatch each segment's instructions with a computed-goto
+     * threaded interpreter (DESIGN.md section 15). Requires blockExec
+     * (and so predecode); falls back with it under profiling, tracing,
+     * and the procedure-cache baseline. Host-side memoization only —
+     * RunStats are identical either way (tests/cpu/test_superblock.cc
+     * and the superblock_parity_smoke ctest assert it); off = the
+     * blocks engine, kept as escape hatch and perf baseline.
+     */
+    bool superblockExec = true;
     /**
      * Verify every decompressed word against the linked ground truth
      * (each handler swic, plus a whole-procedure sweep after each
@@ -279,6 +294,12 @@ class Cpu
     /** Block cache (nullptr until the first block-mode run()). */
     const isa::BlockCache *blockCache() const { return blockCache_.get(); }
 
+    /** Trace cache (nullptr until the first superblock-mode run()). */
+    const isa::SuperblockCache *superblockCache() const
+    {
+        return sbCache_.get();
+    }
+
   private:
     /** Execute one user instruction (fetch, decode, execute, retire). */
     void step();
@@ -303,6 +324,45 @@ class Cpu
      *  @param budget_end handlerInsns bound (0 = unlimited). */
     uint32_t runHandlerBlocks(uint32_t hpc, uint32_t *regs,
                               uint64_t budget_end);
+    /**
+     * Superblock-dispatch main loop (the superblockExec fast path):
+     * per trace, one SuperblockCache probe at the entry; chained
+     * segments validate with a frame-generation compare only and
+     * execute through the threaded interpreter, with one batched
+     * stats/cycles add per segment (DESIGN.md section 15).
+     */
+    void runSuperblocks();
+    /** runHandler()'s superblock dispatch loop (pre-chained via
+     *  HandlerRam::staticSuccAt(), no generation checks). */
+    uint32_t runHandlerSuperblocks(uint32_t hpc, uint32_t *regs,
+                                   uint64_t budget_end);
+    /** Why execTrace() handed control back to its dispatch loop. */
+    enum class TraceExit : uint8_t
+    {
+        Stop,     ///< run over: halt/fault/cancel/timeout/budget/iret
+        Diverge,  ///< left the trace (branch divergence or relink)
+        Append,   ///< open trace needs its next segment recorded
+    };
+    /**
+     * Threaded (computed-goto) trace executor: runs the recorded
+     * segments of @p sb starting at index @p i entirely in-line — the
+     * per-segment boundary work (generation validation, batched
+     * stats/cycles adds, budget/cancel polls, interlock heads) and the
+     * per-instruction jump-table dispatch live in one function, so a
+     * closed loop trace executes indefinitely without a single call
+     * per segment. This is the engine's whole speed story: segments
+     * average only a few instructions, so any per-segment call
+     * overhead would swamp the batching win.
+     *
+     * User side (kHandler = false): runs on pc_; @p counted means
+     * segment @p i's dispatch I-cache access already happened (the
+     * append path probed it). Handler side: @p io_pc carries hpc in
+     * and out; @p counted is ignored.
+     */
+    TraceExit execTrace(bool kHandler, isa::Superblock &sb,
+                        uint32_t i, bool counted,
+                        uint32_t *regs, uint64_t budget_end,
+                        uint32_t &io_pc);
     /**
      * Fetch the (pre)decoded instruction at pc_, servicing any miss.
      * The reference points into the I-cache's decoded store (predecode
@@ -440,8 +500,14 @@ class Cpu
     isa::DecodedInst fetchScratch_;
     /** User-side block cache (created lazily by runBlocks()). */
     std::unique_ptr<isa::BlockCache> blockCache_;
+    /** User-side trace cache (created lazily by runSuperblocks()). */
+    std::unique_ptr<isa::SuperblockCache> sbCache_;
+    /** Handler-side traces, one per handler word (sized by run()). */
+    std::vector<isa::Superblock> handlerSbs_;
     /** Handler block dispatch enabled for this run (set by run()). */
     bool handlerBlocks_ = false;
+    /** Handler superblock dispatch enabled for this run (set by run()). */
+    bool handlerSb_ = false;
 };
 
 } // namespace rtd::cpu

@@ -45,25 +45,25 @@ class BimodalPredictor
     {
         ++lookups_;
         if (kind_ == PredictorKind::StaticNotTaken) {
-            if (taken)
-                ++mispredicts_;
+            mispredicts_ += taken;
             return !taken;
         }
+        // Branch-free on `taken`: this runs once per simulated
+        // conditional branch, whose direction is data-dependent (the
+        // decompression handlers test compressed bits), so any host
+        // branch conditioned on it mispredicts at the simulated
+        // mispredict rate. Saturation and the mispredict count are
+        // computed arithmetically instead.
         uint8_t &counter = table_[index(pc)];
         bool correct = (counter >= 2) == taken;
-        if (taken) {
-            if (counter < 3)
-                ++counter;
-        } else {
-            if (counter > 0)
-                --counter;
-        }
+        int c = counter + (taken ? 1 : -1);
+        c = c < 0 ? 0 : (c > 3 ? 3 : c);
+        counter = static_cast<uint8_t>(c);
         if (kind_ == PredictorKind::Gshare) {
             history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
                        ((1u << historyBits_) - 1u);
         }
-        if (!correct)
-            ++mispredicts_;
+        mispredicts_ += !correct;
         return correct;
     }
 

@@ -1,0 +1,15 @@
+#include "isa/superblock.h"
+
+#include "support/logging.h"
+
+namespace rtd::isa {
+
+SuperblockCache::SuperblockCache(unsigned entries_log2)
+    : shift_(32u - entries_log2)
+{
+    RTDC_ASSERT(entries_log2 >= 1 && entries_log2 < 32,
+                "SuperblockCache entries_log2 out of range");
+    entries_.resize(size_t{1} << entries_log2);
+}
+
+} // namespace rtd::isa

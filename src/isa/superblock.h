@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Superblock (trace) execution: chains of straight-line blocks linked
+ * across control transfers, dispatched with one cache lookup per trace.
+ *
+ * The blocks engine (blocks.h) pays a BlockCache tag probe and an
+ * indirect dispatch at *every* control transfer. A Superblock memoizes
+ * the blocks the program actually executes: it records up to
+ * kMaxSuperblockSegs blocks — each one exactly a blocks engine block,
+ * including its line-boundary cap — together with the I-cache frame
+ * and generation stamp each was fetched under. Dispatch probes the
+ * trace cache once at the trace head; every subsequent segment is
+ * reached through recorded successor links and validated by a single
+ * frame-generation compare (no tag lookup, no block re-scan).
+ *
+ * Recorded segments form a small *graph*, not a line: real hot code
+ * (the decompression handlers especially) is dense with data-dependent
+ * conditional branches, and a linear trace that exits on every
+ * divergence re-dispatches so often the memoization never pays off.
+ * Instead, when a segment ends somewhere other than the next recorded
+ * segment, the engine searches the superblock's own segments for the
+ * target pc and continues in place; each segment caches its last
+ * resolved successor index per branch direction (SbSegment::succ) so
+ * the search is almost always a single compare. Execution leaves the
+ * superblock only to append a block it has never recorded or, once
+ * full, to enter a neighbouring superblock.
+ *
+ * Coherence is the same generation story as blocks: every event that
+ * can change a line's bytes or its frame assignment (fill, swic, CPU
+ * write, invalidation, eviction-by-allocation — see cache/cache.h)
+ * bumps the frame's generation stamp, so a stale stamp anywhere in a
+ * trace's line set is caught at the segment it covers. The trace is
+ * then truncated (mid-trace staleness) or discarded (stale entry) and
+ * relinked from live state — correctness never depends on eager
+ * invalidation.
+ *
+ * Like blocks, superblocks are host-side memoization only: RunStats
+ * are byte-identical with the engine on or off
+ * (tests/cpu/test_superblock.cc asserts it for every scheme).
+ */
+
+#ifndef RTDC_ISA_SUPERBLOCK_H
+#define RTDC_ISA_SUPERBLOCK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/blocks.h"
+
+namespace rtd::isa {
+
+/**
+ * Upper bound on blocks recorded in one superblock. Sized so a hot
+ * loop nest of short blocks (handler blocks average only a few
+ * instructions) fits in a single superblock's graph; must stay below
+ * 255 so a uint8_t successor index with 0xff = unresolved works.
+ */
+constexpr uint32_t kMaxSuperblockSegs = 32;
+
+/**
+ * Number of dispatch misses a trace-cache slot takes before it is
+ * (re)built as a trace for the missing entry pc. Below the threshold
+ * the dispatch runs through the blocks machinery instead: branchy
+ * low-reuse code would otherwise record a throwaway trace per
+ * divergence target — overlapping copies of the same blocks that
+ * evict each other and blow the host cache — for paths that are never
+ * re-entered. Hot entries (anything that loops) cross the threshold
+ * within a few dispatches.
+ */
+constexpr uint8_t kSbHeatThreshold = 4;
+
+/**
+ * One block of a trace: the I-cache decoded-mirror pointer it executes
+ * from, the (frame, generation) pair that validates that pointer, and
+ * the block's static accounting. A generation match at dispatch
+ * guarantees the frame still holds the same line with the same bytes,
+ * which is exactly the condition under which insts/meta are current.
+ */
+struct SbSegment
+{
+    const DecodedInst *insts = nullptr;
+    uint32_t pc = 0;
+    uint32_t frame = 0;
+    uint64_t gen = 0;
+    BlockMeta meta;
+
+    /**
+     * Cached successor segment index per resolved branch direction
+     * ([0] = fall-through / not-taken, [1] = taken or unconditional);
+     * 0xff = not resolved yet. Pure hint: the engine always verifies
+     * the indexed segment's pc before following it, so stale hints
+     * after a truncation are harmless.
+     */
+    uint8_t succ[2] = {0xff, 0xff};
+};
+
+/**
+ * A superblock: entry PC plus up to kMaxSuperblockSegs recorded
+ * segments forming a block graph. `open` means the superblock can
+ * still grow — the engine appends each block it executes that is not
+ * yet recorded until the superblock fills. `reported` latches the
+ * one-shot "built" observability event, emitted the first time the
+ * graph demonstrates a cycle (an internal non-sequential link) or
+ * fills; it never affects execution.
+ */
+struct Superblock
+{
+    uint32_t entryPc = 0;
+    uint32_t nseg = 0;
+    bool valid = false;
+    bool open = false;
+    bool reported = false;
+    /** Dispatch-miss count gating trace (re)build — see kSbHeatThreshold. */
+    uint8_t heat = 0;
+    SbSegment segs[kMaxSuperblockSegs];
+
+    /** Dispatch check: right trace, and its entry line is current. */
+    bool
+    matches(uint32_t want_pc, uint64_t want_gen) const
+    {
+        return valid && entryPc == want_pc && segs[0].gen == want_gen;
+    }
+
+    uint32_t
+    totalLen() const
+    {
+        uint32_t n = 0;
+        for (uint32_t i = 0; i < nseg; ++i)
+            n += segs[i].meta.len;
+        return n;
+    }
+};
+
+/**
+ * Direct-mapped trace cache keyed by entry PC. Collisions, stale
+ * generations, and divergent paths rebuild or truncate in place; a
+ * capacity miss only ever costs a re-link, never correctness.
+ */
+class SuperblockCache
+{
+  public:
+    explicit SuperblockCache(unsigned entries_log2 = 12);
+
+    Superblock &
+    slot(uint32_t pc)
+    {
+        return entries_[(pc >> 2) * 0x9e3779b1u >> shift_];
+    }
+
+    /** Reset @p sb to an empty open trace entered at @p pc. */
+    void
+    startTrace(Superblock &sb, uint32_t pc)
+    {
+        sb.entryPc = pc;
+        sb.nseg = 0;
+        sb.valid = true;
+        sb.open = true;
+        sb.reported = false;
+        sb.heat = 0;
+        ++builds_;
+    }
+
+    /** A trace was truncated or discarded after a stale stamp. */
+    void noteRelink() { ++relinks_; }
+
+    size_t numEntries() const { return entries_.size(); }
+
+    /// @name Statistics (host-side diagnostics only)
+    /// @{
+    uint64_t builds() const { return builds_; }
+    uint64_t relinks() const { return relinks_; }
+    /// @}
+
+  private:
+    unsigned shift_;
+    std::vector<Superblock> entries_;
+    uint64_t builds_ = 0;
+    uint64_t relinks_ = 0;
+};
+
+} // namespace rtd::isa
+
+#endif // RTDC_ISA_SUPERBLOCK_H

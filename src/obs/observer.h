@@ -25,6 +25,10 @@
  *  - histogram "fill_retries"        sum == integrityRetries
  *  - histogram "proc_fault_service_cycles" count == procFaults
  *  - histogram "block_len_insns"     (blocks engine only)
+ *  - histogram "superblock_len_insns" (superblock engine: insns per
+ *                                    closed trace)
+ *  - counter   "superblock_relinks"  (traces truncated/discarded after
+ *                                    a stale generation stamp)
  */
 
 #ifndef RTDC_OBS_OBSERVER_H
@@ -94,6 +98,10 @@ class Observer
     void machineCheck(uint8_t kind, uint32_t addr, uint64_t cycle);
     /** A block of @p len instructions entered the block cache. */
     void blockBuilt(uint32_t len);
+    /** A superblock closed at @p pc with @p len total instructions. */
+    void superblockBuilt(uint32_t pc, uint32_t len, uint64_t cycle);
+    /** The trace at @p pc was truncated/discarded (stale stamp). */
+    void superblockRelink(uint32_t pc, uint64_t cycle);
     /// @}
 
     /// @name Post-run access
@@ -129,6 +137,8 @@ class Observer
     Log2Histogram *fillRetries_;
     Log2Histogram *procFaultCycles_;
     Log2Histogram *blockLen_;
+    Log2Histogram *superblockLen_;
+    Counter *superblockRelinks_;
 };
 
 } // namespace rtd::obs

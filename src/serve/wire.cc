@@ -136,6 +136,7 @@ encodeCpuConfig(const cpu::CpuConfig &config)
     json.set("handlerDataUncached", config.handlerDataUncached);
     json.set("predecode", config.predecode);
     json.set("blockExec", config.blockExec);
+    json.set("superblockExec", config.superblockExec);
     json.set("verify", config.verifyDecompression);
     json.set("memFirst", config.memTiming.firstAccessCycles);
     json.set("memBurst", config.memTiming.burstRateCycles);
@@ -171,6 +172,7 @@ decodeCpuConfig(const Json &json, cpu::CpuConfig &config)
                    config.handlerDataUncached) &&
            getBool(json, "predecode", config.predecode) &&
            getBool(json, "blockExec", config.blockExec) &&
+           getBool(json, "superblockExec", config.superblockExec) &&
            getBool(json, "verify", config.verifyDecompression) &&
            getUnsigned(json, "memFirst",
                        config.memTiming.firstAccessCycles) &&

@@ -392,6 +392,9 @@ class BlockParity : public ::testing::Test
         core::SystemConfig config;
         config.cpu.maxUserInsns = 20'000'000;
         config.cpu.blockExec = block_exec;
+        // Pin the blocks engine: superblock parity has its own suite
+        // (tests/cpu/test_superblock.cc).
+        config.cpu.superblockExec = false;
         config.scheme = scheme;
         config.secondRegFile = rf;
         core::System system(program_, config);
@@ -442,6 +445,7 @@ TEST_F(BlockParity, ProcCacheRunFallsBackIdentically)
         core::SystemConfig config;
         config.cpu.maxUserInsns = 20'000'000;
         config.cpu.blockExec = block_exec;
+        config.cpu.superblockExec = false;
         config.scheme = Scheme::ProcLzrw1;
         config.procCache.capacityBytes = 4 * 1024;
         core::System system(program_, config);
@@ -464,6 +468,7 @@ TEST_F(BlockParity, EvictionPressureIsIdentical)
         core::SystemConfig config;
         config.cpu.maxUserInsns = 20'000'000;
         config.cpu.blockExec = block_exec;
+        config.cpu.superblockExec = false;
         config.cpu.icache.sizeBytes = 1024;
         config.scheme = scheme;
         core::System system(program_, config);
@@ -488,6 +493,7 @@ TEST_F(BlockParity, MidBlockTimeoutIsIdentical)
             core::SystemConfig config;
             config.cpu.maxUserInsns = budget;
             config.cpu.blockExec = block_exec;
+            config.cpu.superblockExec = false;
             config.scheme = Scheme::Dictionary;
             core::System system(program_, config);
             return system.run().stats;
