@@ -18,9 +18,10 @@
  * `selftest` runs the full serve smoke in one process (its own daemon
  * on a private socket): cold sweep == batch bytes, warm resubmit is
  * >=90% index hits and byte-identical, a daemon restarted on the same
- * cache directory serves the hits from disk, a poisoned job yields a
- * structured failure row while its siblings complete, and shutdown is
- * clean. CI runs it as the serve_smoke test.
+ * cache directory serves the hits from disk, a 2-process worker fleet
+ * reproduces the batch bytes, a poisoned job yields a structured
+ * failure row while its siblings complete, and shutdown is clean. CI
+ * runs it as the serve_smoke test.
  */
 
 #include <unistd.h>
@@ -55,7 +56,8 @@ usage(const char *argv0)
         "    --scale F --out FILE --csv FILE --no-json --observe\n"
         "    --poison SUB       (same meanings as rtdc_sweep)\n"
         "  status ID            progress of sweep ID\n"
-        "  stats                daemon service metrics (JSON)\n"
+        "  stats [--json]       daemon service metrics (pretty; --json\n"
+        "                       for the raw reply)\n"
         "  cancel ID            cancel the undone jobs of sweep ID\n"
         "  shutdown             ask the daemon to stop\n"
         "  selftest [--dir D] [--scale F]\n"
@@ -97,13 +99,114 @@ simpleOp(const std::string &socket, const harness::Json &request)
                : 1;
 }
 
+/**
+ * `stats` without --json: the raw reply rendered for humans. Unknown
+ * or absent fields are simply skipped, so old daemons stay readable.
+ */
+void
+printStats(const harness::Json &reply)
+{
+    auto num = [&](const char *key, double fallback = 0.0) {
+        const harness::Json *v = reply.find(key);
+        return v && v->isNumber() ? v->asDouble() : fallback;
+    };
+    auto has = [&](const char *key) {
+        const harness::Json *v = reply.find(key);
+        return v && v->isNumber();
+    };
+    std::printf("daemon:   up %.0fs, %.2f jobs/s\n",
+                num("uptime_seconds"), num("jobs_per_second"));
+    std::printf("workers:  %.0f process(es), %.0f thread(s), "
+                "%.0f restart(s)\n",
+                num("workers"), num("worker_threads"),
+                num("worker_restarts"));
+    std::printf("queue:    %.0f queued", num("queue_depth"));
+    if (has("high_water") && num("high_water") > 0)
+        std::printf(" (high water %.0f)", num("high_water"));
+    std::printf(", %.0f running\n", num("running_jobs"));
+    std::printf("jobs:     %.0f done, %.0f failed, %.0f from result "
+                "index (%.0f sweep(s))\n",
+                num("jobs_done"), num("jobs_failed"),
+                num("jobs_cached"), num("sweeps_submitted"));
+    std::printf("artifact: %.0f hit(s), %.0f build(s), %.0f from "
+                "store\n",
+                num("artifact_hits"), num("artifact_builds"),
+                num("artifact_store_hits"));
+    const harness::Json *disk = reply.find("disk_cache");
+    if (disk) {
+        auto dnum = [&](const char *key) {
+            const harness::Json *v = disk->find(key);
+            return v && v->isNumber() ? v->asDouble() : 0.0;
+        };
+        std::printf("disk:     %.0f hit(s), %.0f miss(es), %.0f "
+                    "store(s), %.0f eviction(s), %.0f reject(s), "
+                    "%.1f MiB\n",
+                    dnum("hits"), dnum("misses"), dnum("stores"),
+                    dnum("evictions"), dnum("rejects"),
+                    dnum("bytes") / (1024.0 * 1024.0));
+    }
+    const harness::Json *per = reply.find("per_worker");
+    if (per && per->kind() == harness::Json::Kind::Array) {
+        for (size_t i = 0; i < per->size(); ++i) {
+            const harness::Json &row = per->at(i);
+            auto wnum = [&](const char *key, double fallback = -1.0) {
+                const harness::Json *v = row.find(key);
+                return v && v->isNumber() ? v->asDouble() : fallback;
+            };
+            std::printf("  worker %.0f:", wnum("worker", 0.0));
+            if (wnum("pid") >= 0)
+                std::printf(" pid %.0f,", wnum("pid"));
+            std::printf(" %.0f job(s)", wnum("jobs_completed", 0.0));
+            if (wnum("restarts") >= 0)
+                std::printf(", %.0f restart(s)", wnum("restarts"));
+            if (wnum("disk_hits") >= 0)
+                std::printf(", disk %.0f/%.0f hit", wnum("disk_hits"),
+                            wnum("disk_hits") + wnum("disk_misses"));
+            if (wnum("artifact_hits") >= 0)
+                std::printf(", artifacts %.0f hit %.0f built",
+                            wnum("artifact_hits"),
+                            wnum("artifact_builds"));
+            std::printf("\n");
+        }
+    }
+}
+
+/** The pretty `stats` op; exit code for main. */
+int
+statsOp(const std::string &socket)
+{
+    serve::Client client;
+    std::string error;
+    if (!client.connect(socket, error)) {
+        std::fprintf(stderr, "rtdc_client: %s\n", error.c_str());
+        return 1;
+    }
+    harness::Json request = harness::Json::object();
+    request.set("op", "stats");
+    harness::Json reply;
+    if (!client.call(request, reply, error)) {
+        std::fprintf(stderr, "rtdc_client: %s\n", error.c_str());
+        return 1;
+    }
+    const harness::Json *ok = reply.find("ok");
+    if (!ok || ok->kind() != harness::Json::Kind::Bool ||
+        !ok->asBool()) {
+        std::fprintf(stderr, "rtdc_client: daemon refused stats\n");
+        return 1;
+    }
+    printStats(reply);
+    return 0;
+}
+
 int
 runRemoteSweep(const std::string &socket, const std::string &name,
                harness::SweepOptions opts)
 {
     serve::Client client;
     std::string error;
-    if (!client.connect(socket, error)) {
+    // A bounded connect retry: sweeps are routinely launched right
+    // after the daemon forks (scripts, CI), before the socket binds.
+    if (!client.connect(socket, error, 5000)) {
         std::fprintf(stderr, "rtdc_client: %s\n", error.c_str());
         return 1;
     }
@@ -228,7 +331,46 @@ selftest(std::string dir, double scale)
                  "selftest: restarted daemon served %.0f%% from disk\n",
                  cachedFrac * 100.0);
 
-    // 4. Poisoned jobs become structured failure rows (exit 3, sweep
+    // 4. Worker-fleet mode: a daemon forking 2 single-threaded worker
+    //    processes over a fresh cache directory must produce the exact
+    //    batch bytes too — the fleet re-sequences rows by job index,
+    //    so process scheduling never leaks into the output.
+    {
+        serve::ServerConfig fleetConfig;
+        fleetConfig.socketPath = dir + "/fleet.sock";
+        fleetConfig.cacheDir = dir + "/fleet-cache";
+        fleetConfig.workerProcesses = 2;
+        serve::Server fleetServer(fleetConfig);
+        if (!fleetServer.start(error)) {
+            std::fprintf(stderr, "selftest FAILED: fleet start: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        serve::Client client;
+        if (!client.connect(fleetConfig.socketPath, error))
+            return fail("connect to fleet daemon");
+        serve::RemoteExecutor executor(client);
+        harness::SweepOptions opts = base;
+        opts.outPath = dir + "/fleet.json";
+        opts.executor = &executor;
+        if (harness::runSweep(sweepName, opts) != 0)
+            return fail("fleet daemon sweep errored");
+        if (slurp(dir + "/fleet.json") != refBytes)
+            return fail("fleet daemon sweep differs from batch bytes");
+        harness::Json statsRequest = harness::Json::object();
+        statsRequest.set("op", "stats");
+        harness::Json statsReply;
+        if (!client.call(statsRequest, statsReply, error))
+            return fail("fleet stats op");
+        const harness::Json *workers = statsReply.find("workers");
+        if (!workers || !workers->isNumber() || workers->asInt() != 2)
+            return fail("fleet stats did not report 2 workers");
+        fleetServer.stop();
+        std::fprintf(stderr,
+                     "selftest: fleet of 2 processes byte-identical\n");
+    }
+
+    // 5. Poisoned jobs become structured failure rows (exit 3, sweep
     //    keeps going) while their healthy siblings still stream fine.
     {
         serve::Client client;
@@ -257,7 +399,7 @@ selftest(std::string dir, double scale)
                      failures.size());
     }
 
-    // 5. Clean shutdown via the protocol.
+    // 6. Clean shutdown via the protocol.
     {
         serve::Client client;
         if (!client.connect(socket, error) || !client.shutdown(error))
@@ -312,11 +454,21 @@ main(int argc, char **argv)
     if (socket.empty())
         usage(argv[0]);
 
-    if (command == "ping" || command == "stats" ||
-        command == "shutdown") {
+    if (command == "ping" || command == "shutdown") {
         harness::Json request = harness::Json::object();
         request.set("op", command);
         return simpleOp(socket, request);
+    }
+    if (command == "stats") {
+        bool raw = args.size() == 2 && args[1] == "--json";
+        if (args.size() > 2 || (args.size() == 2 && !raw))
+            usage(argv[0]);
+        if (raw) {
+            harness::Json request = harness::Json::object();
+            request.set("op", "stats");
+            return simpleOp(socket, request);
+        }
+        return statsOp(socket);
     }
     if (command == "status" || command == "cancel") {
         if (args.size() != 2)

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * rtdc_explore — adaptive design-space exploration client for
+ * rtdc_serve (DESIGN.md section 16).
+ *
+ * The paper's core result is that decompression slowdown is governed
+ * by the native I-cache miss ratio: shrink the cache and the handler
+ * runs constantly, grow it and compression is nearly free. This tool
+ * finds each (benchmark, scheme) pair's *knee* — the smallest I-cache
+ * (powers of two, 1K..64K) whose slowdown is at or under a target —
+ * without simulating the full grid. Every active search contributes
+ * its current probe to a shared wave; the wave is deduplicated
+ * client-side (searches share native baselines), submitted to the
+ * daemon as one high-priority sweep, and each result advances its
+ * search's bisection by one step. ceil(log2 7) = 3 waves replace a
+ * 7-point scan per search, and the daemon's result index makes
+ * re-exploration with a different target almost free.
+ *
+ *   $ ./build/examples/rtdc_explore --socket /tmp/rtdc.sock \
+ *         --target 1.5 --scale 0.05
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compress/compressed_image.h"
+#include "core/experiment.h"
+#include "harness/job.h"
+#include "serve/client.h"
+#include "support/logging.h"
+#include "support/table.h"
+#include "workload/benchmarks.h"
+
+using namespace rtd;
+using compress::Scheme;
+
+namespace {
+
+/** The candidate I-cache sizes, ascending (the bisection's domain). */
+const uint32_t kCandidatesKB[] = {1, 2, 4, 8, 16, 32, 64};
+constexpr size_t kNumCandidates =
+    sizeof(kCandidatesKB) / sizeof(kCandidatesKB[0]);
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --socket PATH [options]\n"
+        "  --socket PATH  daemon unix socket (required)\n"
+        "  --target F     slowdown threshold defining the knee "
+        "(default: 1.5)\n"
+        "  --scale F      workload scale (default: 0.05)\n"
+        "  --priority N   submit priority for exploration waves "
+        "(default: 10)\n",
+        argv0);
+    std::exit(2);
+}
+
+/**
+ * One lower-bound bisection for the smallest candidate index whose
+ * slowdown is <= target. Invariant: every index < lo is known too
+ * slow; hi is either the exclusive sentinel kNumCandidates or an
+ * index verified acceptable. Done when lo == hi; the answer is hi,
+ * or "no knee" when hi is still the sentinel (even 64K failed).
+ */
+struct Search
+{
+    std::string benchmark;
+    Scheme scheme = Scheme::Dictionary;
+    size_t lo = 0;
+    size_t hi = kNumCandidates;
+    double kneeSlowdown = 0.0;
+
+    bool done() const { return lo >= hi; }
+    size_t probe() const { return (lo + hi) / 2; }
+    size_t knee() const { return hi; } ///< kNumCandidates = none
+};
+
+/** Cache key of one simulation point. */
+std::string
+pointKey(const std::string &benchmark, uint32_t icache_kb,
+         Scheme scheme)
+{
+    return benchmark + "/i" + std::to_string(icache_kb) + "K/" +
+           compress::schemeName(scheme);
+}
+
+harness::Job
+pointJob(const std::string &benchmark, uint32_t icache_kb,
+         Scheme scheme, double scale)
+{
+    harness::Job job;
+    job.tag = "explore/" + pointKey(benchmark, icache_kb, scheme);
+    job.workload = workload::scaledSpec(
+        workload::paperBenchmark(benchmark), scale);
+    job.config.cpu = core::paperMachine(icache_kb * 1024);
+    job.config.scheme = scheme;
+    return job;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    std::string socket;
+    double target = 1.5;
+    double scale = 0.05;
+    int priority = 10;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            socket = next();
+        else if (arg == "--target")
+            target = std::atof(next());
+        else if (arg == "--scale")
+            scale = std::atof(next());
+        else if (arg == "--priority")
+            priority = std::atoi(next());
+        else
+            usage(argv[0]);
+    }
+    if (socket.empty() || target <= 0.0 || scale <= 0.0)
+        usage(argv[0]);
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(socket, error, 5000)) {
+        std::fprintf(stderr, "rtdc_explore: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::vector<Search> searches;
+    for (const auto &benchmark : workload::paperBenchmarks()) {
+        for (Scheme scheme : {Scheme::Dictionary, Scheme::CodePack}) {
+            Search search;
+            search.benchmark = benchmark.spec.name;
+            search.scheme = scheme;
+            searches.push_back(std::move(search));
+        }
+    }
+
+    // Every simulated point, shared across searches: the two schemes'
+    // searches for one benchmark reuse each other's native baselines.
+    std::map<std::string, core::SystemResult> evaluated;
+    size_t simulations = 0;
+    size_t waves = 0;
+
+    auto haveSlowdown = [&](const Search &search, size_t index,
+                            double *slow) {
+        uint32_t kb = kCandidatesKB[index];
+        auto native = evaluated.find(
+            pointKey(search.benchmark, kb, Scheme::None));
+        auto run = evaluated.find(
+            pointKey(search.benchmark, kb, search.scheme));
+        if (native == evaluated.end() || run == evaluated.end())
+            return false;
+        *slow = core::slowdown(run->second, native->second);
+        return true;
+    };
+
+    for (;;) {
+        // Collect this wave: each live search's probe point, plus its
+        // native pair, minus everything already evaluated or already
+        // queued by a sibling search this wave.
+        std::vector<harness::Job> jobs;
+        std::vector<std::string> keys;
+        auto want = [&](const std::string &benchmark, uint32_t kb,
+                        Scheme scheme) {
+            std::string key = pointKey(benchmark, kb, scheme);
+            if (evaluated.count(key) ||
+                std::find(keys.begin(), keys.end(), key) != keys.end())
+                return;
+            keys.push_back(key);
+            jobs.push_back(pointJob(benchmark, kb, scheme, scale));
+        };
+        bool live = false;
+        for (Search &search : searches) {
+            if (search.done())
+                continue;
+            live = true;
+            uint32_t kb = kCandidatesKB[search.probe()];
+            want(search.benchmark, kb, Scheme::None);
+            want(search.benchmark, kb, search.scheme);
+        }
+        if (!live)
+            break;
+
+        if (!jobs.empty()) {
+            ++waves;
+            simulations += jobs.size();
+            std::fprintf(stderr,
+                         "rtdc_explore: wave %zu, %zu simulation(s)\n",
+                         waves, jobs.size());
+            uint64_t sweep_id = 0;
+            uint64_t cached = 0;
+            bool submitted = false;
+            unsigned backoff_ms = 50;
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                serve::Client::SubmitReject reject;
+                submitted =
+                    client.submit("explore", jobs, sweep_id, cached,
+                                  error, priority, &reject);
+                if (submitted || !reject.backpressure)
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff_ms));
+                backoff_ms = std::min(backoff_ms * 2, 2000u);
+            }
+            std::vector<harness::JobResult> results(jobs.size());
+            if (!submitted ||
+                !client.fetchResults(sweep_id, results, nullptr,
+                                     error)) {
+                std::fprintf(stderr, "rtdc_explore: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            for (size_t i = 0; i < results.size(); ++i) {
+                if (!results[i].ok) {
+                    std::fprintf(stderr,
+                                 "rtdc_explore: %s failed: %s\n",
+                                 jobs[i].tag.c_str(),
+                                 results[i].error.c_str());
+                    return 1;
+                }
+                evaluated[keys[i]] = std::move(results[i].result);
+            }
+        }
+
+        // Advance each live search one bisection step.
+        for (Search &search : searches) {
+            if (search.done())
+                continue;
+            size_t index = search.probe();
+            double slow = 0.0;
+            if (!haveSlowdown(search, index, &slow))
+                continue; // its points failed upstream; next wave
+            if (slow <= target) {
+                search.hi = index;
+                search.kneeSlowdown = slow;
+            } else {
+                search.lo = index + 1;
+            }
+        }
+    }
+
+    Table table({"benchmark", "scheme", "knee I$", "slowdown"});
+    for (const Search &search : searches) {
+        size_t knee = search.knee();
+        table.addRow({
+            search.benchmark,
+            compress::schemeName(search.scheme),
+            knee < kNumCandidates
+                ? std::to_string(kCandidatesKB[knee]) + "KB"
+                : "> 64KB",
+            knee < kNumCandidates ? fmtDouble(search.kneeSlowdown, 2)
+                                  : "-",
+        });
+    }
+    std::printf("%s", table.render().c_str());
+
+    // The savings claim, measured: a full grid is every candidate for
+    // every search plus one native per (benchmark, size).
+    size_t benchmarks = workload::paperBenchmarks().size();
+    size_t grid = benchmarks * kNumCandidates * 3; // native + 2 schemes
+    std::printf("\n%zu simulation(s) across %zu wave(s); the full grid "
+                "is %zu (%.0f%% saved)\n",
+                simulations, waves, grid,
+                grid ? 100.0 * (1.0 - static_cast<double>(simulations) /
+                                          static_cast<double>(grid))
+                     : 0.0);
+    return 0;
+}

@@ -50,7 +50,14 @@ usage(const char *argv0)
         "  --cache-mb N      disk store payload bound in MiB "
         "(default: 512, 0 = unbounded)\n"
         "  --jobs N          simulation worker threads (default: all "
-        "cores)\n",
+        "cores)\n"
+        "  --workers N       fork N single-threaded worker processes "
+        "instead of\n"
+        "                    in-process threads (crash isolation; "
+        "0 = threads)\n"
+        "  --high-water N    reject submits past N queued jobs "
+        "(default: 100000,\n"
+        "                    0 = unbounded)\n",
         argv0);
     std::exit(2);
 }
@@ -82,6 +89,16 @@ main(int argc, char **argv)
             if (jobs <= 0)
                 usage(argv[0]);
             config.workers = static_cast<unsigned>(jobs);
+        } else if (arg == "--workers") {
+            int workers = std::atoi(next());
+            if (workers < 0)
+                usage(argv[0]);
+            config.workerProcesses = static_cast<unsigned>(workers);
+        } else if (arg == "--high-water") {
+            long long mark = std::atoll(next());
+            if (mark < 0)
+                usage(argv[0]);
+            config.queueHighWater = static_cast<size_t>(mark);
         } else {
             usage(argv[0]);
         }
@@ -99,6 +116,9 @@ main(int argc, char **argv)
                  config.socketPath.c_str(),
                  config.cacheDir.empty() ? "" : ", disk cache at ",
                  config.cacheDir.c_str());
+    if (config.workerProcesses > 0)
+        std::fprintf(stderr, "rtdc_serve: %u worker process(es)\n",
+                     config.workerProcesses);
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);

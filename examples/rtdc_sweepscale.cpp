@@ -1,0 +1,295 @@
+/**
+ * @file
+ * rtdc_sweepscale — throughput scaling bench for the serve worker
+ * fleet (DESIGN.md section 16).
+ *
+ * Runs the same machine-configuration matrix (harness/matrix.h,
+ * MatrixAxes::defaults() = 288 jobs) against a sequence of in-process
+ * daemons — the thread-pool execution engine first, then worker fleets
+ * of increasing size — and reports jobs/second cold (empty cache
+ * directory) and warm (immediate resubmit, answered from the result
+ * index). Every point's result stream is canonicalised
+ * (encodeSystemResult, which excludes wall times) and must be
+ * byte-identical to the thread-pool reference: scaling the fleet must
+ * never change a row.
+ *
+ * Like BENCH_simperf.json, the emitted `BENCH_sweepscale.json` carries
+ * wall-clock fields by design and is excluded from the harness's
+ * byte-identical-rows determinism contract; the identity the bench
+ * *does* assert is the cross-point one above. Throughput scales with
+ * the host's free cores — a single-core host shows a flat (or gently
+ * declining, IPC overhead) curve, which the JSON records honestly via
+ * `host_cores`.
+ *
+ *   $ ./build/examples/rtdc_sweepscale --scale 0.02 --out BENCH_sweepscale.json
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json.h"
+#include "harness/matrix.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "support/logging.h"
+#include "support/table.h"
+
+using namespace rtd;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --out FILE     bench JSON path (default: "
+        "BENCH_sweepscale.json)\n"
+        "  --scale F      matrix workload scale (default: 0.02)\n"
+        "  --dir D        scratch directory (default: a fresh mkdtemp)\n"
+        "  --points LIST  comma-separated worker counts; 0 = the\n"
+        "                 in-process thread pool (default: 0,1,2,4)\n",
+        argv0);
+    std::exit(2);
+}
+
+struct PointResult
+{
+    unsigned workers = 0;
+    double coldSeconds = 0.0;
+    double warmSeconds = 0.0;
+    double warmCachedFraction = 0.0;
+    bool identical = true;
+};
+
+/**
+ * The canonical byte string of a result vector: simulated outcome
+ * only (encodeSystemResult has no wall times; failures canonicalise
+ * to their error text). Two execution engines agree iff these agree.
+ */
+std::string
+canonicalize(const std::vector<harness::JobResult> &results)
+{
+    std::string out;
+    for (const harness::JobResult &row : results) {
+        if (row.ok)
+            out += serve::encodeSystemResult(row.result).dump();
+        else
+            out += "FAIL:" + row.error;
+        out += '\n';
+    }
+    return out;
+}
+
+/**
+ * One timed submit+fetch round trip against @p socket. Returns false
+ * on any transport or protocol failure.
+ */
+bool
+timedSweep(const std::string &socket,
+           const std::vector<harness::Job> &jobs, double *seconds,
+           double *cachedFraction, std::string *canon,
+           std::string &error)
+{
+    serve::Client client;
+    if (!client.connect(socket, error, 5000))
+        return false;
+    std::vector<harness::JobResult> results(jobs.size());
+    uint64_t sweep_id = 0;
+    uint64_t cached_at_submit = 0;
+    uint64_t cached_rows = 0;
+    auto start = std::chrono::steady_clock::now();
+    if (!client.submit("sweepscale", jobs, sweep_id, cached_at_submit,
+                       error))
+        return false;
+    if (!client.fetchResults(sweep_id, results, &cached_rows, error))
+        return false;
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok) {
+            error = "job " + jobs[i].tag + " failed: " +
+                    results[i].error;
+            return false;
+        }
+    }
+    *seconds = elapsed.count();
+    *cachedFraction =
+        jobs.empty() ? 0.0
+                     : static_cast<double>(cached_rows) /
+                           static_cast<double>(jobs.size());
+    *canon = canonicalize(results);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    std::string outPath = "BENCH_sweepscale.json";
+    std::string dir;
+    double scale = 0.02;
+    std::vector<unsigned> points = {0, 1, 2, 4};
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            outPath = next();
+        } else if (arg == "--scale") {
+            scale = std::atof(next());
+            if (scale <= 0.0)
+                usage(argv[0]);
+        } else if (arg == "--dir") {
+            dir = next();
+        } else if (arg == "--points") {
+            points.clear();
+            std::string list = next();
+            size_t pos = 0;
+            while (pos < list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                points.push_back(static_cast<unsigned>(
+                    std::atoi(list.substr(pos, comma - pos).c_str())));
+                pos = comma + 1;
+            }
+            if (points.empty())
+                usage(argv[0]);
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (dir.empty()) {
+        char tmpl[] = "/tmp/rtdc_sweepscale_XXXXXX";
+        if (!::mkdtemp(tmpl)) {
+            std::perror("mkdtemp");
+            return 1;
+        }
+        dir = tmpl;
+    }
+
+    harness::MatrixAxes axes = harness::MatrixAxes::defaults();
+    axes.scale = scale;
+    std::vector<harness::Job> jobs = harness::buildMatrixJobs(axes);
+    std::printf("=== Sweep-scale: %zu matrix jobs, scale %g, %u host "
+                "core(s) ===\n",
+                jobs.size(), scale,
+                std::thread::hardware_concurrency());
+
+    std::string reference;
+    std::vector<PointResult> rows;
+    for (unsigned workers : points) {
+        serve::ServerConfig config;
+        config.socketPath =
+            dir + "/p" + std::to_string(workers) + ".sock";
+        config.cacheDir =
+            dir + "/cache" + std::to_string(workers);
+        if (workers > 0)
+            config.workerProcesses = workers;
+        serve::Server server(config);
+        std::string error;
+        if (!server.start(error)) {
+            std::fprintf(stderr, "rtdc_sweepscale: start(%u): %s\n",
+                         workers, error.c_str());
+            return 1;
+        }
+
+        PointResult point;
+        point.workers = workers;
+        std::string canon;
+        double ignored = 0.0;
+        if (!timedSweep(config.socketPath, jobs, &point.coldSeconds,
+                        &ignored, &canon, error) ||
+            !timedSweep(config.socketPath, jobs, &point.warmSeconds,
+                        &point.warmCachedFraction, &canon, error)) {
+            std::fprintf(stderr, "rtdc_sweepscale: point %u: %s\n",
+                         workers, error.c_str());
+            return 1;
+        }
+        server.stop();
+
+        if (reference.empty())
+            reference = canon;
+        point.identical = canon == reference;
+        rows.push_back(point);
+        std::fprintf(stderr,
+                     "rtdc_sweepscale: %u worker(s): cold %.2fs, warm "
+                     "%.2fs (%.0f%% indexed)%s\n",
+                     workers, point.coldSeconds, point.warmSeconds,
+                     point.warmCachedFraction * 100.0,
+                     point.identical ? "" : " -- ROWS DIVERGED");
+    }
+
+    Table table({"workers", "cold s", "cold jobs/s", "warm s",
+                 "warm jobs/s", "identical"});
+    harness::Json json = harness::Json::object();
+    json.set("sweep", "sweepscale");
+    json.set("scale", scale);
+    json.set("jobs", static_cast<uint64_t>(jobs.size()));
+    json.set("host_cores",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    harness::Json out_rows = harness::Json::array();
+    bool allIdentical = true;
+    double n = static_cast<double>(jobs.size());
+    for (const PointResult &point : rows) {
+        double coldRate =
+            point.coldSeconds > 0.0 ? n / point.coldSeconds : 0.0;
+        double warmRate =
+            point.warmSeconds > 0.0 ? n / point.warmSeconds : 0.0;
+        table.addRow({
+            point.workers ? std::to_string(point.workers)
+                          : "0 (threads)",
+            fmtDouble(point.coldSeconds, 2),
+            fmtDouble(coldRate, 1),
+            fmtDouble(point.warmSeconds, 2),
+            fmtDouble(warmRate, 1),
+            point.identical ? "yes" : "NO",
+        });
+        harness::Json row = harness::Json::object();
+        row.set("workers", static_cast<uint64_t>(point.workers));
+        row.set("mode", point.workers ? "processes" : "threads");
+        row.set("cold_seconds", point.coldSeconds);
+        row.set("cold_jobs_per_second", coldRate);
+        row.set("warm_seconds", point.warmSeconds);
+        row.set("warm_jobs_per_second", warmRate);
+        row.set("warm_cached_fraction", point.warmCachedFraction);
+        row.set("identical", point.identical);
+        out_rows.push(std::move(row));
+        allIdentical = allIdentical && point.identical;
+    }
+    json.set("rows", std::move(out_rows));
+    std::printf("\n%s", table.render().c_str());
+
+    std::ofstream out(outPath, std::ios::binary);
+    out << json.dump(2) << "\n";
+    if (!out) {
+        std::fprintf(stderr, "rtdc_sweepscale: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", outPath.c_str());
+    if (!allIdentical) {
+        std::fprintf(stderr,
+                     "rtdc_sweepscale: FAILED — execution engines "
+                     "disagreed on simulated rows\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * JobQueue: a bounded, prioritized, multi-producer/multi-consumer work
+ * queue for the serve daemon's dispatchers (DESIGN.md section 16).
+ *
+ * The daemon's original ThreadPool was strictly FIFO and unbounded:
+ * a matrix-scale submit could queue tens of thousands of closures with
+ * no way to refuse, and an interactive exploration client's probes
+ * would wait behind every bulk job already enqueued. This queue fixes
+ * both:
+ *
+ *  - **Priority.** Every pushBatch carries an integer priority; higher
+ *    pops first. Within one priority level items pop in push order
+ *    (a monotone sequence number breaks ties), so equal-priority
+ *    traffic keeps the old FIFO behavior exactly — including the
+ *    submission-order determinism the result re-sequencer relies on.
+ *
+ *  - **Bounded backpressure.** A high-water mark caps the number of
+ *    queued items. pushBatch is all-or-nothing: a batch that would
+ *    cross the mark is rejected whole (false), never half-enqueued —
+ *    the daemon turns that into a structured "backpressure" error so
+ *    the client can back off instead of OOMing the server.
+ *
+ * close() wakes every blocked pop and makes all pops return false
+ * immediately; items still queued are discarded (the daemon's stop path
+ * marks their sweeps cancelled, so nobody waits on their rows).
+ */
+
+#ifndef RTDC_HARNESS_JOB_QUEUE_H
+#define RTDC_HARNESS_JOB_QUEUE_H
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rtd::harness {
+
+template <typename T>
+class JobQueue
+{
+  public:
+    /** @param high_water max queued items; 0 = unbounded. */
+    explicit JobQueue(size_t high_water = 0) : highWater_(high_water) {}
+
+    /**
+     * Enqueue @p items at @p priority (higher pops first). All-or-
+     * nothing: false (and nothing enqueued) when the batch would push
+     * the queue past the high-water mark or the queue is closed.
+     */
+    bool pushBatch(int priority, std::vector<T> items)
+    {
+        if (items.empty())
+            return true;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return false;
+            if (highWater_ != 0 &&
+                heap_.size() + items.size() > highWater_)
+                return false;
+            for (T &item : items) {
+                heap_.push_back(Entry{priority, nextSeq_++,
+                                      std::move(item)});
+                std::push_heap(heap_.begin(), heap_.end(), Before{});
+            }
+        }
+        cv_.notify_all();
+        return true;
+    }
+
+    /** pushBatch of a single item. */
+    bool push(int priority, T item)
+    {
+        std::vector<T> batch;
+        batch.push_back(std::move(item));
+        return pushBatch(priority, std::move(batch));
+    }
+
+    /**
+     * Block until an item is available or the queue is closed. True
+     * with @p out filled; false once closed (queued items are
+     * discarded at close, so false means "stop now").
+     */
+    bool pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+        if (closed_)
+            return false;
+        std::pop_heap(heap_.begin(), heap_.end(), Before{});
+        out = std::move(heap_.back().value);
+        heap_.pop_back();
+        return true;
+    }
+
+    /** Close: every current and future pop returns false. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+            heap_.clear();
+        }
+        cv_.notify_all();
+    }
+
+    size_t depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return heap_.size();
+    }
+
+    size_t highWater() const { return highWater_; }
+
+  private:
+    struct Entry
+    {
+        int priority = 0;
+        uint64_t seq = 0;
+        T value;
+    };
+
+    /** Max-heap order: higher priority first, then lower seq (FIFO). */
+    struct Before
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority < b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    size_t highWater_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Entry> heap_;
+    uint64_t nextSeq_ = 1;
+    bool closed_ = false;
+};
+
+} // namespace rtd::harness
+
+#endif // RTDC_HARNESS_JOB_QUEUE_H

@@ -97,17 +97,24 @@ runAttempt(const Job &job, ArtifactCache &cache,
     out.timedOut = false;
     out.error.clear();
     std::atomic<bool> cancel{false};
-    bool watched = job.timeoutSeconds > 0 || external_cancel != nullptr;
+    // A deadline needs the watchdog thread; a pure external token does
+    // not — the Cpu polls CpuConfig::cancel itself, so the token wires
+    // straight in. That keeps serve worker processes single-threaded
+    // (they may be forked from a threaded daemon) and saves one thread
+    // per daemon job.
+    bool deadline = job.timeoutSeconds > 0;
     try {
         ScopedErrorTrap trap;
         std::optional<Watchdog> watchdog;
-        if (watched)
+        if (deadline)
             watchdog.emplace(job.timeoutSeconds, external_cancel, cancel);
         std::shared_ptr<const core::BuiltImage> built =
             cache.builtImage(job.workload, job.config);
         core::SystemConfig config = job.config;
-        if (watched)
+        if (deadline)
             config.cpu.cancel = &cancel;
+        else if (external_cancel)
+            config.cpu.cancel = external_cancel;
         core::System system(built, config);
         out.result = system.run();
         if (out.result.stats.cancelled) {

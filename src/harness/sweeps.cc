@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/experiment.h"
+#include "harness/matrix.h"
 #include "harness/runner.h"
 #include "profile/selection.h"
 #include "support/table.h"
@@ -713,6 +714,9 @@ sweeps()
         {"ablation_handler",
          "handler data-access path: cached vs uncached, D-cache sweep",
          runAblationHandler},
+        {"matrix",
+         "machine-configuration cross product (fleet-scale sweep)",
+         runMatrixSweep},
     };
     return registry;
 }

@@ -1,19 +1,34 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "serve/wire.h"
 
 namespace rtd::serve {
 
 bool
-Client::connect(const std::string &socket_path, std::string &error)
+Client::connect(const std::string &socket_path, std::string &error,
+                unsigned retry_ms)
 {
-    int fd = connectUnix(socket_path, error);
-    if (fd < 0)
-        return false;
-    channel_ = std::make_unique<LineChannel>(fd);
-    return true;
+    unsigned waited = 0;
+    unsigned delay = 10;
+    for (;;) {
+        int fd = connectUnix(socket_path, error);
+        if (fd >= 0) {
+            channel_ = std::make_unique<LineChannel>(fd);
+            return true;
+        }
+        if (waited >= retry_ms)
+            return false;
+        unsigned sleep_ms = std::min(delay, retry_ms - waited);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(sleep_ms));
+        waited += sleep_ms;
+        delay = std::min(delay * 2, 200u);
+    }
 }
 
 bool
@@ -66,18 +81,40 @@ Client::ping(std::string &error)
 bool
 Client::submit(const std::string &label,
                const std::vector<harness::Job> &jobs, uint64_t &sweep_id,
-               uint64_t &cached, std::string &error)
+               uint64_t &cached, std::string &error, int priority,
+               SubmitReject *reject)
 {
     harness::Json request = harness::Json::object();
     request.set("op", "submit");
     request.set("label", label);
+    if (priority != 0)
+        request.set("priority", priority);
     harness::Json encoded = harness::Json::array();
     for (const harness::Job &job : jobs)
         encoded.push(encodeJob(job));
     request.set("jobs", std::move(encoded));
     harness::Json reply;
-    if (!call(request, reply, error) || !replyOk(reply, error))
+    if (!call(request, reply, error))
         return false;
+    if (!replyOk(reply, error)) {
+        if (reject) {
+            const harness::Json *code = reply.find("code");
+            if (code &&
+                code->kind() == harness::Json::Kind::String &&
+                code->asString() == "backpressure") {
+                reject->backpressure = true;
+                const harness::Json *depth = reply.find("queue_depth");
+                const harness::Json *mark = reply.find("high_water");
+                if (depth && depth->isNumber())
+                    reject->queueDepth =
+                        static_cast<uint64_t>(depth->asInt());
+                if (mark && mark->isNumber())
+                    reject->highWater =
+                        static_cast<uint64_t>(mark->asInt());
+            }
+        }
+        return false;
+    }
     const harness::Json *id = reply.find("sweep_id");
     const harness::Json *cached_json = reply.find("cached");
     if (!id || id->kind() != harness::Json::Kind::Int) {
@@ -173,8 +210,30 @@ RemoteExecutor::run(const std::string &label,
     uint64_t sweep_id = 0;
     uint64_t cached_at_submit = 0;
     uint64_t cached_rows = 0;
-    bool ok = client_.submit(label, jobs, sweep_id, cached_at_submit,
-                             error) &&
+    // A backpressure rejection is the daemon asking us to wait, not an
+    // error: back off (bounded, doubling) and resubmit — the queue
+    // drains at simulation speed, so a short ladder usually suffices.
+    bool submitted = false;
+    unsigned backoff_ms = 50;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        Client::SubmitReject reject;
+        submitted = client_.submit(label, jobs, sweep_id,
+                                   cached_at_submit, error, priority_,
+                                   &reject);
+        if (submitted || !reject.backpressure)
+            break;
+        std::fprintf(stderr,
+                     "[%s] daemon backpressure (queue %llu/%llu), "
+                     "retrying in %ums\n",
+                     label.c_str(),
+                     static_cast<unsigned long long>(reject.queueDepth),
+                     static_cast<unsigned long long>(reject.highWater),
+                     backoff_ms);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 2000u);
+    }
+    bool ok = submitted &&
               client_.fetchResults(sweep_id, results, &cached_rows,
                                    error);
     if (!ok) {

@@ -33,8 +33,14 @@ class Client
   public:
     Client() = default;
 
-    /** Connect to the daemon at @p socket_path. */
-    bool connect(const std::string &socket_path, std::string &error);
+    /**
+     * Connect to the daemon at @p socket_path. @p retry_ms > 0 keeps
+     * retrying failed connects for up to that many milliseconds with a
+     * bounded exponential backoff (10ms doubling to 200ms) — the cure
+     * for the race between forking a daemon and its bind() finishing.
+     */
+    bool connect(const std::string &socket_path, std::string &error,
+                 unsigned retry_ms = 0);
     bool connected() const { return channel_ != nullptr; }
 
     /**
@@ -48,13 +54,26 @@ class Client
     /** {"op":"ping"} round trip; true when the daemon answered ok. */
     bool ping(std::string &error);
 
+    /** Why a submit was refused (when the daemon said, structurally). */
+    struct SubmitReject
+    {
+        bool backpressure = false;  ///< queue high-water rejection
+        uint64_t queueDepth = 0;
+        uint64_t highWater = 0;
+    };
+
     /**
-     * Submit @p jobs as one sweep. On success fills @p sweep_id and
-     * @p cached (jobs answered from the result index without queueing).
+     * Submit @p jobs as one sweep at @p priority (higher runs first;
+     * 0 is the bulk default). On success fills @p sweep_id and
+     * @p cached (jobs answered from the result index without
+     * queueing). On failure, @p reject (when non-null) says whether
+     * this was a backpressure rejection the caller should back off
+     * and retry on.
      */
     bool submit(const std::string &label,
                 const std::vector<harness::Job> &jobs, uint64_t &sweep_id,
-                uint64_t &cached, std::string &error);
+                uint64_t &cached, std::string &error, int priority = 0,
+                SubmitReject *reject = nullptr);
 
     /**
      * Stream the rows of @p sweep_id into @p results (submission
@@ -98,10 +117,14 @@ class RemoteExecutor : public harness::JobExecutor
     uint64_t totalJobs() const { return totalJobs_; }
     uint64_t totalCached() const { return totalCached_; }
 
+    /** Submit priority for subsequent run() calls (default 0). */
+    void setPriority(int priority) { priority_ = priority; }
+
   private:
     Client &client_;
     uint64_t totalJobs_ = 0;
     uint64_t totalCached_ = 0;
+    int priority_ = 0;
 };
 
 } // namespace rtd::serve

@@ -2,11 +2,13 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -105,12 +107,50 @@ parseBlob(const std::string &bytes, std::string &key,
     return true;
 }
 
+/**
+ * RAII exclusive flock over the store's `.lock` file: the cross-process
+ * half of write serialization (the in-process half is mutex_, which the
+ * caller already holds, so at most one flock per process is pending).
+ * A negative fd degrades to a no-op — single-process correctness does
+ * not depend on it.
+ */
+class FlockGuard
+{
+  public:
+    explicit FlockGuard(int fd) : fd_(fd)
+    {
+        if (fd_ >= 0) {
+            while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+            }
+        }
+    }
+
+    ~FlockGuard()
+    {
+        if (fd_ >= 0)
+            ::flock(fd_, LOCK_UN);
+    }
+
+    FlockGuard(const FlockGuard &) = delete;
+    FlockGuard &operator=(const FlockGuard &) = delete;
+
+  private:
+    int fd_;
+};
+
 } // namespace
 
 DiskArtifactCache::DiskArtifactCache(std::string dir, uint64_t max_bytes)
     : dir_(std::move(dir)), maxBytes_(max_bytes)
 {
     ::mkdir(dir_.c_str(), 0775);
+    lockFd_ = ::open((dir_ + "/.lock").c_str(), O_RDWR | O_CREAT, 0664);
+
+    // The scan (and especially its tmp sweep) runs under the write
+    // flock: a live writer in another process holds the lock while its
+    // pid-unique temp file exists, so any ".tmp" visible here is a
+    // crashed writer's orphan and safe to delete.
+    FlockGuard write_lock(lockFd_);
 
     // Index surviving blobs. Only well-formed names are considered;
     // leftover ".tmp" files from a crashed writer are swept here.
@@ -174,6 +214,12 @@ DiskArtifactCache::DiskArtifactCache(std::string dir, uint64_t max_bytes)
     }
 }
 
+DiskArtifactCache::~DiskArtifactCache()
+{
+    if (lockFd_ >= 0)
+        ::close(lockFd_);
+}
+
 std::string
 DiskArtifactCache::pathFor(uint64_t hash) const
 {
@@ -186,20 +232,35 @@ DiskArtifactCache::load(const std::string &key, std::string &bytes)
     uint64_t hash = harness::stableHash64(key);
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(hash);
-    if (it == index_.end()) {
+    std::string file = hexHash(hash) + ".blob";
+    std::string path = dir_ + "/" + file;
+    // Deliberately no index-presence gate and no flock: a sibling
+    // process sharing the directory (worker fleet) may have stored or
+    // evicted this blob without us knowing, and rename() atomicity plus
+    // the key/CRC verification below make lock-free reads safe.
+    std::string raw, stored_key, payload;
+    if (!readWholeFile(path, raw)) {
+        // Nothing (readable) on disk: a plain miss. Drop any index
+        // entry — another process evicted the blob under us.
+        if (it != index_.end())
+            removeLocked(hash);
         ++stats_.misses;
         return false;
     }
-    std::string path = dir_ + "/" + it->second.file;
-    std::string raw, stored_key, payload;
-    if (!readWholeFile(path, raw) ||
-        !parseBlob(raw, stored_key, payload) || stored_key != key) {
+    if (!parseBlob(raw, stored_key, payload) || stored_key != key) {
         // Bad magic, torn record, CRC failure, or a 64-bit hash
         // collision with a different key: reject the blob so the
         // caller rebuilds (and, on store, overwrites the file).
         ++stats_.rejects;
-        removeLocked(hash);
+        if (it != index_.end())
+            removeLocked(hash);
+        else
+            ::unlink(path.c_str());
         return false;
+    }
+    if (it == index_.end()) {
+        // Stored by a sibling process: adopt it into our index.
+        it = index_.emplace(hash, Entry{file, 0, 0}).first;
     }
     // The startup scan only estimated the payload from the file size
     // (it never reads records); now that we have parsed the record,
@@ -239,8 +300,14 @@ DiskArtifactCache::store(const std::string &key, std::string_view bytes)
     record.append(bytes.data(), bytes.size());
 
     std::lock_guard<std::mutex> lock(mutex_);
+    // Cross-process write exclusion (see FlockGuard): spans tmp write,
+    // rename, and eviction. The temp name is pid-unique so two
+    // processes racing on the same key never write one temp file.
+    FlockGuard write_lock(lockFd_);
     std::string path = pathFor(hash);
-    std::string tmp = path + ".tmp";
+    std::string tmp =
+        path + "." + std::to_string(static_cast<long>(::getpid())) +
+        ".tmp";
     FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return;

@@ -47,6 +47,28 @@
  * Thread-safe: one mutex serializes the index; file I/O happens under
  * it too (blobs are small and local, and correctness under concurrent
  * store/evict of the same key matters more than parallel disk writes).
+ *
+ * ## Multi-process sharing (worker fleet)
+ *
+ * One directory may be opened by several processes at once — the
+ * daemon plus every forked worker (DESIGN.md section 16). Three
+ * mechanisms make that safe:
+ *
+ *  - writes are serialized across processes by an exclusive flock on
+ *    `<dir>/.lock`, held over tmp write + rename + eviction (and over
+ *    the startup scan, so the tmp sweep can never delete another live
+ *    writer's in-flight temp file — temp names are also pid-unique);
+ *  - readers take no lock at all: rename() is atomic, so a racing
+ *    reader sees the old complete record or the new one, and the
+ *    full-key + CRC verification already rejects anything torn or
+ *    foreign as a miss;
+ *  - a load whose hash is not in this process's in-memory index falls
+ *    through to disk anyway and adopts the blob on success, so blobs
+ *    stored by sibling processes are visible without any shared index.
+ *
+ * Each process's byte accounting only tracks its own view of the
+ * directory, so the LRU bound is approximate under sharing — exactly
+ * the fidelity a cache bound needs.
  */
 
 #ifndef RTDC_SERVE_DISK_CACHE_H
@@ -84,6 +106,8 @@ class DiskArtifactCache : public harness::BlobStore
      * total payload (0 = unbounded).
      */
     DiskArtifactCache(std::string dir, uint64_t max_bytes);
+
+    ~DiskArtifactCache() override;
 
     /**
      * Look up @p key. True only when a blob with the exact key string
@@ -123,6 +147,10 @@ class DiskArtifactCache : public harness::BlobStore
 
     std::string dir_;
     uint64_t maxBytes_;
+    /** fd of `<dir>/.lock` for cross-process write exclusion; -1 when
+     *  the lock file could not be opened (degrades to in-process-only
+     *  safety, which is still correct for a lone daemon). */
+    int lockFd_ = -1;
     mutable std::mutex mutex_;
     std::map<uint64_t, Entry> index_;  ///< key hash -> entry
     uint64_t totalPayload_ = 0;

@@ -10,10 +10,17 @@
  *   reply    := { "ok": true, ... } | { "ok": false, "error": STRING }
  *
  *   op "ping"     -> { "ok": true }
- *   op "submit"   { "label": S, "jobs": [JOB...] }
+ *   op "submit"   { "label": S, "jobs": [JOB...], "priority": I? }
  *                 -> { "ok": true, "sweep_id": N, "jobs": N,
  *                      "cached": N }   (cached = result-index hits that
  *                                       never touch the queue)
+ *                 | { "ok": false, "code": "backpressure",
+ *                     "queue_depth": N, "high_water": N, "error": S }
+ *                    when the uncached jobs would push the queue past
+ *                    its high-water mark (nothing is enqueued; the
+ *                    client backs off and resubmits). "priority" is an
+ *                    optional integer (default 0, higher runs first);
+ *                    equal priorities keep strict submission order.
  *   op "status"   { "sweep_id": N }
  *                 -> { "ok": true, "state": "running"|"done"|
  *                      "cancelled", "total": N, "done": N,
@@ -25,8 +32,14 @@
  *                    terminated by { "ok": true, "complete": true,
  *                      "total": N, "cached": N, "failed": N }
  *   op "cancel"   { "sweep_id": N } -> { "ok": true, "cancelled": N }
- *   op "stats"    -> { "ok": true, "queue_depth": N, ...counters,
- *                      "disk_cache": {...}, "metrics": {...} }
+ *   op "stats"    -> { "ok": true, "queue_depth": N, "high_water": N,
+ *                      "workers": N (fleet processes; 0 = in-process),
+ *                      "worker_threads": N, "worker_restarts": N,
+ *                      "per_worker": [ { "worker": i, "pid": N?,
+ *                        "jobs_completed": N, "restarts": N?,
+ *                        "disk_hits": N?, "disk_misses": N? } ... ],
+ *                      ...counters, "disk_cache": {...},
+ *                      "metrics": {...} }
  *   op "shutdown" -> { "ok": true } then the daemon stops serving.
  *
  * JOB and JOBRESULT are the serve::wire encodings (wire.h). Unknown
@@ -96,6 +109,16 @@ class LineChannel
 
     /** Close early (further reads/writes fail). */
     void close();
+
+    /** Underlying fd, for poll()-style readiness waits. */
+    int fd() const { return fd_; }
+
+    /** True when a complete line is already buffered (a readLine would
+     *  not touch the socket). */
+    bool hasBufferedLine() const
+    {
+        return buffer_.find('\n') != std::string::npos;
+    }
 
   private:
     int fd_ = -1;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "harness/runner.h"
+#include "harness/thread_pool.h"
 #include "serve/wire.h"
 #include "support/logging.h"
 
@@ -22,7 +23,8 @@ const char kResultPrefix[] = "result|";
 
 } // namespace
 
-Server::Server(ServerConfig config) : config_(std::move(config))
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), queue_(config_.queueHighWater)
 {
     if (!config_.cacheDir.empty()) {
         diskCache_ = std::make_unique<DiskArtifactCache>(
@@ -48,14 +50,52 @@ Server::~Server()
 bool
 Server::start(std::string &error)
 {
+    // Fleet first: workers must fork from a process that has not
+    // created its accept/dispatch threads yet (see worker.h). One
+    // dispatcher per execution slot either way.
+    unsigned slots;
+    if (config_.workerProcesses > 0) {
+        WorkerFleet::Config fleet_config;
+        fleet_config.count = config_.workerProcesses;
+        fleet_config.cacheDir = config_.cacheDir;
+        fleet_config.cacheMaxBytes = config_.cacheMaxBytes;
+        fleet_ = std::make_unique<WorkerFleet>(fleet_config);
+        if (!fleet_->start(error)) {
+            fleet_.reset();
+            return false;
+        }
+        slots = config_.workerProcesses;
+    } else {
+        slots = config_.workers
+                    ? config_.workers
+                    : harness::ThreadPool::defaultThreadCount();
+    }
     int fd = listenUnix(config_.socketPath, error);
-    if (fd < 0)
+    if (fd < 0) {
+        if (fleet_) {
+            fleet_->stop();
+            fleet_.reset();
+        }
         return false;
+    }
     listenFd_.store(fd);
-    pool_ = std::make_unique<harness::ThreadPool>(config_.workers);
     started_ = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        slotJobs_.assign(slots, 0);
+    }
+    for (unsigned i = 0; i < slots; ++i)
+        dispatchThreads_.emplace_back([this, i] { dispatchLoop(i); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
     return true;
+}
+
+void
+Server::dispatchLoop(unsigned slot)
+{
+    QueuedJob item;
+    while (queue_.pop(item))
+        runSweepJob(item.sweep, item.index, slot);
 }
 
 void
@@ -100,9 +140,10 @@ Server::stop()
             for (int fd : connFds_)
                 ::shutdown(fd, SHUT_RDWR);
         }
-        // Cancel in-flight jobs so the pool drains quickly; queued
-        // tasks the pool discards stay not-done, which is fine — with
-        // every connection gone nobody is waiting on their rows.
+        // Cancel in-flight jobs so the dispatchers finish their current
+        // job quickly, and close the queue: still-queued jobs are
+        // discarded and stay not-done, which is fine — with every
+        // connection gone nobody is waiting on their rows.
         {
             std::lock_guard<std::mutex> lock(sweepMutex_);
             for (auto &[id, sweep] : sweeps_) {
@@ -111,6 +152,7 @@ Server::stop()
                     job.cancel->store(true, std::memory_order_relaxed);
             }
         }
+        queue_.close();
         sweepCv_.notify_all();
     }
     if (acceptThread_.joinable())
@@ -124,7 +166,15 @@ Server::stop()
     }
     for (std::thread &thread : threads)
         thread.join();
-    pool_.reset();  // drains (discarding unstarted tasks) and joins
+    for (std::thread &thread : dispatchThreads_)
+        thread.join();
+    dispatchThreads_.clear();
+    // Only after the dispatchers are gone is it safe to tear the fleet
+    // down — nobody is mid-conversation with a worker anymore.
+    if (fleet_) {
+        fleet_->stop();
+        fleet_.reset();
+    }
     if (!was_stopping)
         ::unlink(config_.socketPath.c_str());
 }
@@ -235,6 +285,10 @@ Server::handleSubmit(const harness::Json &request)
     if (!label || label->kind() != harness::Json::Kind::String ||
         !jobs || jobs->kind() != harness::Json::Kind::Array)
         return errorReply("submit needs label + jobs[]");
+    int priority = 0;
+    if (const harness::Json *p = request.find("priority");
+        p && p->kind() == harness::Json::Kind::Int)
+        priority = static_cast<int>(p->asInt());
 
     auto sweep = std::make_shared<Sweep>();
     sweep->label = label->asString();
@@ -272,28 +326,47 @@ Server::handleSubmit(const harness::Json &request)
         sweep->id = id;
         sweeps_[id] = sweep;
     }
+
+    // Queue the remaining jobs, in submission order, as one batch at
+    // the request's priority. QueuedJobs hold the Sweep alive via
+    // shared_ptr. The push is all-or-nothing against the high-water
+    // mark: on rejection the sweep is withdrawn and the client gets a
+    // structured backpressure error to back off on — never a
+    // half-enqueued sweep.
+    std::vector<QueuedJob> pending;
+    for (size_t i = 0; i < sweep->jobs.size(); ++i) {
+        if (!sweep->jobs[i].done)
+            pending.push_back(QueuedJob{sweep, i});
+    }
+    size_t queued = pending.size();
+    // Gauge bumped before the push so it never dips negative while
+    // dispatchers start pulling (rolled back on rejection).
+    if (queued) {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        queueDepth_->add(static_cast<int64_t>(queued));
+    }
+    if (!queue_.pushBatch(priority, std::move(pending))) {
+        {
+            std::lock_guard<std::mutex> lock(sweepMutex_);
+            sweeps_.erase(id);
+        }
+        if (queued) {
+            std::lock_guard<std::mutex> lock(metricsMutex_);
+            queueDepth_->add(-static_cast<int64_t>(queued));
+        }
+        harness::Json reply = errorReply(
+            "queue backpressure: " + std::to_string(queued) +
+            " job(s) would exceed the high-water mark");
+        reply.set("code", "backpressure");
+        reply.set("queue_depth", uint64_t(queue_.depth()));
+        reply.set("high_water", uint64_t(queue_.highWater()));
+        return reply;
+    }
     {
         std::lock_guard<std::mutex> lock(metricsMutex_);
         sweepsSubmitted_->add(1);
         jobsCached_->add(cached);
         jobsDone_->add(cached);
-    }
-
-    // Shard the remaining jobs across the worker pool in submission
-    // order. Tasks hold the Sweep alive via shared_ptr. Depth is bumped
-    // before the first submit so it never dips negative while workers
-    // start pulling.
-    size_t queued = 0;
-    for (const SweepJob &entry : sweep->jobs)
-        queued += entry.done ? 0 : 1;
-    if (queued) {
-        std::lock_guard<std::mutex> lock(metricsMutex_);
-        queueDepth_->add(static_cast<int64_t>(queued));
-    }
-    for (size_t i = 0; i < sweep->jobs.size(); ++i) {
-        if (sweep->jobs[i].done)
-            continue;
-        pool_->submit([this, sweep, i] { runSweepJob(sweep, i); });
     }
     sweepCv_.notify_all();
 
@@ -305,7 +378,8 @@ Server::handleSubmit(const harness::Json &request)
 }
 
 void
-Server::runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index)
+Server::runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index,
+                    unsigned slot)
 {
     SweepJob &entry = sweep->jobs[index];
     {
@@ -313,12 +387,26 @@ Server::runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index)
         queueDepth_->add(-1);
         runningJobs_->add(1);
     }
-    // executeJob never throws and never crashes the process: panics
-    // become structured failure rows, hangs are cancelled by the
-    // watchdog (the daemon wires its own cancel token in as well, so
-    // `cancel`/shutdown stop even jobs with no timeout of their own).
-    harness::JobResult result =
-        executeJob(entry.job, artifacts_, entry.cancel.get());
+    harness::JobResult result;
+    if (entry.cancel->load(std::memory_order_relaxed)) {
+        // Cancelled while still queued: synthesize the row the
+        // executor would produce instead of burning a slot on it.
+        result.ok = false;
+        result.timedOut = true;
+        result.error = "cancelled";
+    } else if (fleet_) {
+        // Fleet mode: this dispatcher owns worker `slot`; the fleet
+        // relays the cancel token, retries across worker crashes, and
+        // turns an unrecoverable job into a structured failure row.
+        result = fleet_->execute(slot, entry.job, entry.cancel.get());
+    } else {
+        // In-process: executeJob never throws and never crashes the
+        // process — panics become structured failure rows, hangs are
+        // cancelled by the watchdog (the daemon wires its own cancel
+        // token in as well, so `cancel`/shutdown stop even jobs with
+        // no timeout of their own).
+        result = executeJob(entry.job, artifacts_, entry.cancel.get());
+    }
 
     bool index_it = result.ok;
     {
@@ -335,6 +423,8 @@ Server::runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index)
         std::lock_guard<std::mutex> lock(metricsMutex_);
         runningJobs_->add(-1);
         jobsDone_->add(1);
+        if (slot < slotJobs_.size())
+            ++slotJobs_[slot];
         if (!sweep->jobs[index].result.ok)
             jobsFailed_->add(1);
         jobWallMs_->record(static_cast<uint64_t>(
@@ -486,11 +576,14 @@ Server::handleStats()
     double uptime = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - started_)
                         .count();
+    reply.set("queue_depth", uint64_t(queue_.depth()));
+    reply.set("high_water", uint64_t(queue_.highWater()));
+    reply.set("workers", uint64_t(fleet_ ? fleet_->count() : 0));
+    reply.set("worker_threads", uint64_t(dispatchThreads_.size()));
+    reply.set("worker_restarts", fleet_ ? fleet_->restarts() : 0);
     {
         std::lock_guard<std::mutex> lock(metricsMutex_);
         reply.set("uptime_seconds", uptime);
-        reply.set("queue_depth", uint64_t(std::max<int64_t>(
-                                     0, queueDepth_->value)));
         reply.set("running_jobs", uint64_t(std::max<int64_t>(
                                       0, runningJobs_->value)));
         reply.set("jobs_done", jobsDone_->value);
@@ -503,6 +596,33 @@ Server::handleStats()
                       : 0.0);
         reply.set("metrics", metrics_.toJson());
     }
+    // Per-slot execution accounting: the fleet's snapshot in fleet
+    // mode (pids, crash counts, each worker's own cache telemetry),
+    // the dispatcher counters otherwise.
+    harness::Json per_worker = harness::Json::array();
+    if (fleet_) {
+        for (const WorkerStats &w : fleet_->stats()) {
+            harness::Json row = harness::Json::object();
+            row.set("worker", uint64_t(w.worker));
+            row.set("pid", int64_t(w.pid));
+            row.set("jobs_completed", w.jobsCompleted);
+            row.set("restarts", w.restarts);
+            row.set("disk_hits", w.diskHits);
+            row.set("disk_misses", w.diskMisses);
+            row.set("artifact_hits", w.artifactHits);
+            row.set("artifact_builds", w.artifactBuilds);
+            per_worker.push(std::move(row));
+        }
+    } else {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        for (size_t i = 0; i < slotJobs_.size(); ++i) {
+            harness::Json row = harness::Json::object();
+            row.set("worker", uint64_t(i));
+            row.set("jobs_completed", slotJobs_[i]);
+            per_worker.push(std::move(row));
+        }
+    }
+    reply.set("per_worker", std::move(per_worker));
     reply.set("artifact_hits", artifacts_.hits());
     reply.set("artifact_builds", artifacts_.builds());
     reply.set("artifact_store_hits", artifacts_.storeHits());

@@ -7,13 +7,18 @@
  *  - the listening unix socket and one thread per accepted connection
  *    (the protocol is synchronous per connection; concurrency comes
  *    from many connections),
- *  - one harness::ThreadPool of simulation workers shared by every
- *    sweep — submitted jobs shard across it in submission order, and
- *    each job runs through the same harness::executeJob the batch
- *    SweepRunner uses (crash isolation and watchdogs included),
+ *  - the execution engine: a bounded, prioritized JobQueue drained by
+ *    one dispatcher thread per execution slot. With
+ *    workerProcesses == 0 each dispatcher runs jobs in-process through
+ *    harness::executeJob (the batch SweepRunner's path, crash traps
+ *    and watchdogs included); with workerProcesses > 0 each dispatcher
+ *    owns one forked WorkerFleet slot and ships jobs to it over a
+ *    socketpair (DESIGN.md section 16 — full process isolation, jobs
+ *    retried across worker crashes),
  *  - one harness::ArtifactCache backed (optionally) by a
  *    DiskArtifactCache, so programs and built images persist across
- *    jobs, sweeps, clients, and daemon restarts,
+ *    jobs, sweeps, clients, and daemon restarts — and, in fleet mode,
+ *    the same disk directory is shared by every worker process,
  *  - the incremental result index: finished ok rows keyed by
  *    wire::jobContentKey, held in memory and persisted through the
  *    same disk store under a "result|" prefix. A resubmitted sweep
@@ -29,7 +34,16 @@
  * Determinism: results stream strictly in submission order and carry
  * the exact values executeJob produced, so a client rendering a
  * registered sweep through RemoteExecutor produces byte-identical
- * tables and BENCH JSON to the local batch run.
+ * tables and BENCH JSON to the local batch run — with or without the
+ * worker fleet (jobs are pure functions of their value, so where they
+ * execute cannot change the rows).
+ *
+ * Backpressure: the queue has a high-water mark; a submit whose
+ * uncached jobs would cross it is rejected whole with a structured
+ * "backpressure" error (queue depth + mark included) so clients back
+ * off instead of ballooning daemon memory. Submits carry an optional
+ * priority — interactive probes (rtdc_explore) overtake bulk matrix
+ * sweeps without starving them (equal priority stays strictly FIFO).
  */
 
 #ifndef RTDC_SERVE_SERVER_H
@@ -49,10 +63,11 @@
 
 #include "harness/artifact_cache.h"
 #include "harness/job.h"
-#include "harness/thread_pool.h"
+#include "harness/job_queue.h"
 #include "obs/metrics.h"
 #include "serve/disk_cache.h"
 #include "serve/proto.h"
+#include "serve/worker.h"
 
 namespace rtd::serve {
 
@@ -64,8 +79,25 @@ struct ServerConfig
     std::string cacheDir;
     /** Disk store payload bound (0 = unbounded). */
     uint64_t cacheMaxBytes = 512ull << 20;
-    /** Simulation worker threads; 0 = one per hardware thread. */
+    /**
+     * Simulation worker threads (in-process execution); 0 = one per
+     * hardware thread. Ignored when workerProcesses > 0.
+     */
     unsigned workers = 0;
+    /**
+     * Forked worker processes (DESIGN.md section 16); 0 = run jobs
+     * in-process on `workers` threads. With N > 0 the daemon forks N
+     * single-threaded children at start() and every job executes in
+     * one of them — full crash isolation, jobs retried across worker
+     * deaths.
+     */
+    unsigned workerProcesses = 0;
+    /**
+     * Queue high-water mark: a submit whose uncached jobs would push
+     * the queue past this many entries is rejected with a structured
+     * "backpressure" error. 0 = unbounded.
+     */
+    size_t queueHighWater = 100000;
 };
 
 /** One sweep daemon instance. Thread-safe; one per process normally. */
@@ -103,6 +135,7 @@ class Server
     /// @{
     harness::ArtifactCache &artifacts() { return artifacts_; }
     DiskArtifactCache *diskCache() { return diskCache_.get(); }
+    WorkerFleet *fleet() { return fleet_.get(); }
     /// @}
 
   private:
@@ -130,8 +163,17 @@ class Server
         bool cancelled = false;
     };
 
+    /** One queued unit of work: sweep job @p index of @p sweep. */
+    struct QueuedJob
+    {
+        std::shared_ptr<Sweep> sweep;
+        size_t index = 0;
+    };
+
     void acceptLoop();
     void serveConnection(int fd);
+    /** Dispatcher thread body: drain the queue into slot @p slot. */
+    void dispatchLoop(unsigned slot);
 
     /// @name Op handlers (reply is what goes back on the wire)
     /// @{
@@ -144,8 +186,9 @@ class Server
                        LineChannel &channel);
     /// @}
 
-    /** Pool task: run sweep job @p index and publish its row. */
-    void runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index);
+    /** Run sweep job @p index on slot @p slot and publish its row. */
+    void runSweepJob(const std::shared_ptr<Sweep> &sweep, size_t index,
+                     unsigned slot);
 
     /**
      * Result-index lookup for @p key: memory first, then the disk
@@ -159,7 +202,15 @@ class Server
     ServerConfig config_;
     std::unique_ptr<DiskArtifactCache> diskCache_;
     harness::ArtifactCache artifacts_;
-    std::unique_ptr<harness::ThreadPool> pool_;
+    /** Forked execution fleet (fleet mode only). */
+    std::unique_ptr<WorkerFleet> fleet_;
+    /** Pending jobs, drained by the dispatchers. Constructed with the
+     *  config high-water mark; closed by stop(). */
+    harness::JobQueue<QueuedJob> queue_;
+    std::vector<std::thread> dispatchThreads_;
+    /** Per-slot completed-job counters for in-process mode (fleet mode
+     *  reads WorkerFleet::stats() instead). Guarded by metricsMutex_. */
+    std::vector<uint64_t> slotJobs_;
 
     /** Listening socket; stop() exchanges it to -1 while acceptLoop
      *  reads it, hence atomic. */

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * WorkerFleet: the serve daemon's multi-process execution engine
+ * (DESIGN.md section 16).
+ *
+ * ## Why processes
+ *
+ * The daemon's in-process thread pool shares one address space with
+ * every job: a job that corrupts memory or trips an unrecoverable
+ * fault takes the whole daemon — and every other client's sweeps —
+ * down with it. The fleet moves job execution into N long-lived child
+ * processes, so the blast radius of the worst job is one worker and
+ * one in-flight job (which is retried on a fresh worker). It also
+ * sidesteps any serialization hiding in shared in-memory caches:
+ * each worker owns a private ArtifactCache and shares builds with its
+ * siblings only through the crash-safe on-disk DiskArtifactCache.
+ *
+ * ## Process model
+ *
+ * start() forks config.count children, each connected to the parent
+ * by one AF_UNIX socketpair carrying the same line-delimited JSON
+ * framing as the client protocol (LineChannel), with jobs and results
+ * in the serve::wire encodings:
+ *
+ *     parent -> worker   { "op": "job", "job": JOB }
+ *     worker -> parent   { "ok": true, "result": JOBRESULT,
+ *                          "telemetry": { ...cache counters } }
+ *
+ * One dispatcher thread in the daemon owns one worker slot, so a
+ * channel never sees interleaved requests. start() MUST run before
+ * the daemon creates any threads: the children are forked from a
+ * single-threaded process (and stay single-threaded — see workerMain),
+ * which keeps fork() semantics simple and sanitizer-clean.
+ *
+ * ## Cancellation
+ *
+ * The parent relays the daemon's per-job cancel token by signal: while
+ * waiting for a reply it polls the channel, and the first time the
+ * token fires it sends the worker SIGUSR1. The worker's handler sets
+ * the cooperative cancel flag that harness::executeJob already wires
+ * into the simulator, so cancellation has the same semantics (and the
+ * same "cancelled" row) as the in-process path. Job deadlines use
+ * SIGALRM the same way instead of the runner's watchdog thread.
+ *
+ * ## Crash isolation
+ *
+ * A worker that dies mid-job (crash, OOM kill, `kill -9`) surfaces as
+ * EOF on its channel. execute() reaps the corpse, forks a replacement
+ * into the same slot, and retries the job a bounded number of times;
+ * only when retries are exhausted does the job become a structured
+ * failure row. Other slots never notice. Respawned children are forked
+ * from the (by then multi-threaded) daemon, which is safe precisely
+ * because workers never create threads.
+ */
+
+#ifndef RTDC_SERVE_WORKER_H
+#define RTDC_SERVE_WORKER_H
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/job.h"
+#include "serve/proto.h"
+
+namespace rtd::serve {
+
+/** Per-worker observability snapshot (for the `stats` op). */
+struct WorkerStats
+{
+    unsigned worker = 0;        ///< slot index
+    pid_t pid = -1;             ///< current child pid (-1 = not running)
+    uint64_t jobsCompleted = 0; ///< jobs this slot answered
+    uint64_t restarts = 0;      ///< crash-respawns of this slot
+    /// @name Latest telemetry reported by the child's own caches
+    /// @{
+    uint64_t diskHits = 0;
+    uint64_t diskMisses = 0;
+    uint64_t artifactHits = 0;
+    uint64_t artifactBuilds = 0;
+    /// @}
+};
+
+/** A fixed-size pool of forked single-threaded job executors. */
+class WorkerFleet
+{
+  public:
+    struct Config
+    {
+        unsigned count = 0;        ///< worker processes to fork
+        std::string cacheDir;      ///< shared disk store ("" = none)
+        uint64_t cacheMaxBytes = 0;
+    };
+
+    explicit WorkerFleet(Config config);
+    ~WorkerFleet();
+
+    WorkerFleet(const WorkerFleet &) = delete;
+    WorkerFleet &operator=(const WorkerFleet &) = delete;
+
+    /**
+     * Fork the workers. Call from a single-threaded process, before
+     * the daemon spins up its accept/dispatch threads. False (with
+     * @p error filled) if any fork/socketpair fails — already-forked
+     * workers are stopped again.
+     */
+    bool start(std::string &error);
+
+    /**
+     * Stop every worker: close its channel (EOF makes an idle worker
+     * exit), escalate to SIGTERM then SIGKILL for stragglers, and reap.
+     * Idempotent; also run by the destructor.
+     */
+    void stop();
+
+    unsigned count() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    /**
+     * Run @p job on worker @p slot and return its result, retrying on
+     * a respawned worker if the child dies mid-job. @p cancel (may be
+     * null) is the daemon's per-job token, relayed as SIGUSR1.
+     * Call only from the one dispatcher thread that owns @p slot.
+     */
+    harness::JobResult execute(unsigned slot, const harness::Job &job,
+                               const std::atomic<bool> *cancel);
+
+    /** Snapshot of every slot (any thread). */
+    std::vector<WorkerStats> stats() const;
+
+    /** Total crash-respawns across all slots (any thread). */
+    uint64_t restarts() const
+    {
+        return totalRestarts_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Slot
+    {
+        pid_t pid = -1;
+        std::unique_ptr<LineChannel> channel;
+        uint64_t jobsCompleted = 0;
+        uint64_t restarts = 0;
+        uint64_t diskHits = 0;
+        uint64_t diskMisses = 0;
+        uint64_t artifactHits = 0;
+        uint64_t artifactBuilds = 0;
+    };
+
+    enum class RunOutcome
+    {
+        Done,    ///< a reply came back (result may still be ok=false)
+        Crashed, ///< channel died mid-job — respawn and retry
+    };
+
+    /** Fork a fresh child into @p slot. */
+    bool spawnSlot(unsigned index, std::string &error);
+    /** EOF + escalating signals + reap for @p slot's child. */
+    void stopSlot(Slot &slot);
+    /** Reap a crashed child (SIGKILL first, in case it is wedged). */
+    void reapSlot(Slot &slot);
+    /** One request/reply round on a live slot. */
+    RunOutcome runOnSlot(Slot &slot, const harness::Job &job,
+                         const std::atomic<bool> *cancel,
+                         harness::JobResult &out);
+
+    Config config_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    /** Guards pid + counters for stats() (channels need no lock: each
+     *  is touched only by its owning dispatcher, and stop() runs after
+     *  the dispatchers have been joined). */
+    mutable std::mutex statsMutex_;
+    std::atomic<uint64_t> totalRestarts_{0};
+    bool stopped_ = false;
+};
+
+/**
+ * Body of a worker child: serve `job` requests on @p fd until EOF,
+ * then _exit(0). Opens its own DiskArtifactCache on @p cacheDir (the
+ * directory is shared with the daemon and the sibling workers — see
+ * disk_cache.h for the cross-process protocol). Installs SIGUSR1
+ * (cancel relay) and SIGALRM (job deadline) handlers; never creates a
+ * thread. Exposed for tests; production callers go through
+ * WorkerFleet.
+ */
+[[noreturn]] void workerMain(int fd, const std::string &cacheDir,
+                             uint64_t cacheMaxBytes);
+
+} // namespace rtd::serve
+
+#endif // RTDC_SERVE_WORKER_H

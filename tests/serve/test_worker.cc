@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Worker-fleet suite (DESIGN.md section 16): the prioritized bounded
+ * JobQueue, the WorkerFleet's row-identity / crash-retry / cancel
+ * contracts, the DiskArtifactCache's cross-process sharing (raced
+ * same-key stores, sibling-blob adoption, partial-write rejection),
+ * and the daemon in fleet mode end to end — byte-identical sweeps,
+ * structured backpressure, per-worker stats, and a worker killed with
+ * SIGKILL mid-sweep without losing a row.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "harness/artifact_cache.h"
+#include "harness/job.h"
+#include "harness/job_queue.h"
+#include "harness/runner.h"
+#include "serve/client.h"
+#include "serve/disk_cache.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "serve/worker.h"
+#include "workload/benchmarks.h"
+
+using namespace rtd;
+using harness::Job;
+using harness::JobQueue;
+using harness::JobResult;
+using harness::Json;
+
+namespace {
+
+std::string
+tempDir()
+{
+    char tmpl[] = "/tmp/rtdc_worker_test_XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "/tmp";
+}
+
+/** A small deterministic job; @p seed varies the simulation point. */
+Job
+tinyJob(uint64_t seed, compress::Scheme scheme = compress::Scheme::None)
+{
+    Job job;
+    job.tag = "worker-test/" + std::to_string(seed) + "/" +
+              compress::schemeName(scheme);
+    job.workload = workload::tinySpec(seed);
+    job.config.cpu = core::paperMachine(4 * 1024);
+    job.config.scheme = scheme;
+    return job;
+}
+
+/** A job long enough (seconds) to be interrupted reliably. */
+Job
+longJob()
+{
+    Job job;
+    job.tag = "worker-test/long";
+    job.workload = workload::scaledSpec(
+        workload::paperBenchmark("cc1"), 1.0);
+    job.config.cpu = core::paperMachine(4 * 1024);
+    job.config.scheme = compress::Scheme::CodePack;
+    return job;
+}
+
+/** Simulated-outcome bytes only (no wall times): the identity basis. */
+std::string
+canon(const JobResult &row)
+{
+    return row.ok ? serve::encodeSystemResult(row.result).dump()
+                  : "FAIL:" + row.error;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------
+
+TEST(JobQueueTest, HigherPriorityFirstThenFifo)
+{
+    JobQueue<int> queue;
+    ASSERT_TRUE(queue.pushBatch(0, {1, 2}));
+    ASSERT_TRUE(queue.pushBatch(5, {10, 11}));
+    ASSERT_TRUE(queue.push(0, 3));
+    ASSERT_TRUE(queue.push(9, 99));
+
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i) {
+        int value = -1;
+        ASSERT_TRUE(queue.pop(value));
+        order.push_back(value);
+    }
+    // Priority 9 beats 5 beats 0; within a priority, submission order.
+    EXPECT_EQ(order, (std::vector<int>{99, 10, 11, 1, 2, 3}));
+    EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(JobQueueTest, HighWaterRejectsWholeBatch)
+{
+    JobQueue<int> queue(3);
+    EXPECT_EQ(queue.highWater(), 3u);
+    ASSERT_TRUE(queue.pushBatch(0, {1, 2}));
+    // 2 + 2 > 3: nothing from the batch may enter.
+    EXPECT_FALSE(queue.pushBatch(0, {3, 4}));
+    EXPECT_EQ(queue.depth(), 2u);
+    // A batch that fits exactly is accepted.
+    ASSERT_TRUE(queue.pushBatch(0, {3}));
+    EXPECT_EQ(queue.depth(), 3u);
+    EXPECT_FALSE(queue.push(0, 4));
+}
+
+TEST(JobQueueTest, CloseWakesBlockedPopAndRefusesPush)
+{
+    JobQueue<int> queue;
+    std::atomic<bool> popReturned{false};
+    std::thread waiter([&] {
+        int value = 0;
+        bool got = queue.pop(value);
+        EXPECT_FALSE(got);
+        popReturned.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    queue.close();
+    waiter.join();
+    EXPECT_TRUE(popReturned.load());
+    EXPECT_FALSE(queue.push(0, 1));
+    EXPECT_FALSE(queue.pushBatch(0, {1, 2}));
+    int value = 0;
+    EXPECT_FALSE(queue.pop(value));
+}
+
+// ---------------------------------------------------------------------
+// WorkerFleet
+// ---------------------------------------------------------------------
+
+TEST(WorkerFleetTest, RowsIdenticalToInProcessExecution)
+{
+    std::string dir = tempDir();
+    serve::WorkerFleet::Config config;
+    config.count = 1;
+    config.cacheDir = dir + "/cache";
+    serve::WorkerFleet fleet(config);
+    std::string error;
+    ASSERT_TRUE(fleet.start(error)) << error;
+
+    std::vector<Job> jobs = {
+        tinyJob(1), tinyJob(1, compress::Scheme::Dictionary),
+        tinyJob(2, compress::Scheme::CodePack)};
+    harness::ArtifactCache local;
+    for (const Job &job : jobs) {
+        JobResult viaFleet = fleet.execute(0, job, nullptr);
+        JobResult viaLocal = harness::executeJob(job, local);
+        ASSERT_TRUE(viaFleet.ok) << viaFleet.error;
+        ASSERT_TRUE(viaLocal.ok) << viaLocal.error;
+        EXPECT_EQ(canon(viaFleet), canon(viaLocal)) << job.tag;
+        EXPECT_EQ(viaFleet.attempts, viaLocal.attempts);
+    }
+
+    std::vector<serve::WorkerStats> stats = fleet.stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].jobsCompleted, jobs.size());
+    EXPECT_EQ(fleet.restarts(), 0u);
+    fleet.stop();
+}
+
+TEST(WorkerFleetTest, SurvivesSigkillMidJobAndRetries)
+{
+    std::string dir = tempDir();
+    serve::WorkerFleet::Config config;
+    config.count = 1;
+    config.cacheDir = dir + "/cache";
+    serve::WorkerFleet fleet(config);
+    std::string error;
+    ASSERT_TRUE(fleet.start(error)) << error;
+
+    pid_t victim = fleet.stats()[0].pid;
+    ASSERT_GT(victim, 0);
+
+    JobResult result;
+    std::thread runner([&] {
+        result = fleet.execute(0, longJob(), nullptr);
+    });
+    // Let the job get going, then murder the worker outright.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+    runner.join();
+
+    // The job was retried on a fresh worker and still succeeded; the
+    // slot records the crash and its replacement pid.
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_GE(fleet.restarts(), 1u);
+    std::vector<serve::WorkerStats> stats = fleet.stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_NE(stats[0].pid, victim);
+
+    // The respawned worker matches the in-process row exactly.
+    harness::ArtifactCache local;
+    JobResult viaLocal = harness::executeJob(longJob(), local);
+    ASSERT_TRUE(viaLocal.ok) << viaLocal.error;
+    EXPECT_EQ(canon(result), canon(viaLocal));
+    fleet.stop();
+}
+
+TEST(WorkerFleetTest, CancelTokenYieldsCancelledRow)
+{
+    std::string dir = tempDir();
+    serve::WorkerFleet::Config config;
+    config.count = 1;
+    config.cacheDir = dir + "/cache";
+    serve::WorkerFleet fleet(config);
+    std::string error;
+    ASSERT_TRUE(fleet.start(error)) << error;
+
+    std::atomic<bool> cancel{false};
+    JobResult result;
+    std::thread runner([&] {
+        result = fleet.execute(0, longJob(), &cancel);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    cancel.store(true);
+    runner.join();
+
+    EXPECT_FALSE(result.ok);
+    EXPECT_TRUE(result.timedOut);
+    EXPECT_NE(result.error.find("cancelled"), std::string::npos)
+        << result.error;
+    // Cancellation is cooperative, not a crash: the worker survived.
+    EXPECT_EQ(fleet.restarts(), 0u);
+    fleet.stop();
+}
+
+// ---------------------------------------------------------------------
+// DiskArtifactCache across processes
+// ---------------------------------------------------------------------
+
+TEST(DiskCacheProcessTest, RacingStoresOfOneKeyStayConsistent)
+{
+    std::string dir = tempDir();
+    const std::string key = "race|same-key";
+    const std::string payload(4096, 'r');
+
+    // Parent and child hammer the same key concurrently. The contract:
+    // equal keys mean equal payloads, so whoever wins the renames, every
+    // verified load must return the one true payload.
+    pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        serve::DiskArtifactCache mine(dir, 0);
+        bool ok = true;
+        for (int i = 0; i < 50; ++i) {
+            mine.store(key, payload);
+            std::string back;
+            if (mine.load(key, back) && back != payload)
+                ok = false;
+        }
+        ::_exit(ok ? 0 : 1);
+    }
+    serve::DiskArtifactCache cache(dir, 0);
+    for (int i = 0; i < 50; ++i) {
+        cache.store(key, payload);
+        std::string back;
+        if (cache.load(key, back)) {
+            EXPECT_EQ(back, payload);
+        }
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+
+    std::string back;
+    ASSERT_TRUE(cache.load(key, back));
+    EXPECT_EQ(back, payload);
+}
+
+TEST(DiskCacheProcessTest, AdoptsBlobStoredBySiblingProcess)
+{
+    std::string dir = tempDir();
+    const std::string key = "sibling|stored-later";
+    const std::string payload = "built by the other process";
+
+    // This instance scans the (empty) directory first...
+    serve::DiskArtifactCache cache(dir, 0);
+    std::string back;
+    EXPECT_FALSE(cache.load(key, back));
+
+    // ...then a sibling process stores the blob behind its back.
+    pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        serve::DiskArtifactCache sibling(dir, 0);
+        sibling.store(key, payload);
+        ::_exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    // The index missed, but the load falls through to disk, verifies
+    // the full key, and adopts the sibling's blob.
+    ASSERT_TRUE(cache.load(key, back));
+    EXPECT_EQ(back, payload);
+}
+
+TEST(DiskCacheProcessTest, PartialBlobRejectedThenRebuilt)
+{
+    std::string dir = tempDir();
+    const std::string key = "partial|torn-write";
+    const std::string payload(1024, 'p');
+
+    {
+        serve::DiskArtifactCache cache(dir, 0);
+        cache.store(key, payload);
+        std::string back;
+        ASSERT_TRUE(cache.load(key, back));
+    }
+    // Tear the blob behind the cache's back: keep only a prefix,
+    // simulating a writer that died mid-write without tmp+rename.
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx",
+                  static_cast<unsigned long long>(
+                      harness::stableHash64(key)));
+    std::string path = dir + "/" + name + ".blob";
+    ASSERT_EQ(::truncate(path.c_str(), 40), 0);
+
+    // A fresh instance (fresh index, daemon-restart path) must reject
+    // the torn blob as a miss — never serve half a payload.
+    serve::DiskArtifactCache reopened(dir, 0);
+    std::string back;
+    EXPECT_FALSE(reopened.load(key, back));
+    EXPECT_GE(reopened.stats().rejects + reopened.stats().misses, 1u);
+
+    // And a rebuild through the normal store path heals it.
+    reopened.store(key, payload);
+    ASSERT_TRUE(reopened.load(key, back));
+    EXPECT_EQ(back, payload);
+}
+
+// ---------------------------------------------------------------------
+// Server in fleet mode
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Submit @p jobs to the daemon at @p socket and fetch all rows. */
+bool
+runThroughDaemon(const std::string &socket, const std::vector<Job> &jobs,
+                 std::vector<JobResult> &results, std::string &error,
+                 serve::Client::SubmitReject *reject = nullptr,
+                 int priority = 0)
+{
+    serve::Client client;
+    if (!client.connect(socket, error))
+        return false;
+    uint64_t sweep_id = 0;
+    uint64_t cached = 0;
+    if (!client.submit("fleet-test", jobs, sweep_id, cached, error,
+                       priority, reject))
+        return false;
+    results.assign(jobs.size(), JobResult());
+    return client.fetchResults(sweep_id, results, nullptr, error);
+}
+
+} // namespace
+
+TEST(ServeFleetTest, FleetSweepMatchesInProcessSweep)
+{
+    std::string dir = tempDir();
+    std::vector<Job> jobs;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        jobs.push_back(tinyJob(seed));
+        jobs.push_back(tinyJob(seed, compress::Scheme::Dictionary));
+    }
+
+    auto runServer = [&](unsigned workerProcesses,
+                         const std::string &tag,
+                         std::vector<JobResult> &results) {
+        serve::ServerConfig config;
+        config.socketPath = dir + "/" + tag + ".sock";
+        config.cacheDir = dir + "/" + tag + "-cache";
+        config.workerProcesses = workerProcesses;
+        if (workerProcesses == 0)
+            config.workers = 2;
+        serve::Server server(config);
+        std::string error;
+        ASSERT_TRUE(server.start(error)) << error;
+        ASSERT_TRUE(runThroughDaemon(config.socketPath, jobs, results,
+                                     error))
+            << error;
+        server.stop();
+    };
+
+    std::vector<JobResult> viaThreads, viaFleet;
+    runServer(0, "threads", viaThreads);
+    runServer(2, "fleet", viaFleet);
+    ASSERT_EQ(viaThreads.size(), jobs.size());
+    ASSERT_EQ(viaFleet.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(viaThreads[i].ok) << viaThreads[i].error;
+        ASSERT_TRUE(viaFleet[i].ok) << viaFleet[i].error;
+        EXPECT_EQ(canon(viaFleet[i]), canon(viaThreads[i]))
+            << jobs[i].tag;
+    }
+}
+
+TEST(ServeFleetTest, BackpressureRejectIsStructuredAndAllOrNothing)
+{
+    std::string dir = tempDir();
+    serve::ServerConfig config;
+    config.socketPath = dir + "/daemon.sock";
+    config.workers = 1;
+    config.queueHighWater = 2;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // A batch larger than the high-water mark is rejected atomically
+    // regardless of how fast the queue drains.
+    std::vector<Job> big;
+    for (uint64_t seed = 1; seed <= 5; ++seed)
+        big.push_back(tinyJob(seed));
+    std::vector<JobResult> results;
+    serve::Client::SubmitReject reject;
+    EXPECT_FALSE(runThroughDaemon(config.socketPath, big, results,
+                                  error, &reject));
+    EXPECT_TRUE(reject.backpressure);
+    EXPECT_EQ(reject.highWater, 2u);
+
+    // A batch that fits is accepted and completes.
+    std::vector<Job> small = {tinyJob(1), tinyJob(2)};
+    ASSERT_TRUE(runThroughDaemon(config.socketPath, small, results,
+                                 error))
+        << error;
+    ASSERT_EQ(results.size(), small.size());
+    for (const JobResult &row : results)
+        EXPECT_TRUE(row.ok) << row.error;
+    server.stop();
+}
+
+TEST(ServeFleetTest, StatsReportPerWorkerFleetCounters)
+{
+    std::string dir = tempDir();
+    serve::ServerConfig config;
+    config.socketPath = dir + "/daemon.sock";
+    config.cacheDir = dir + "/cache";
+    config.workerProcesses = 2;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    std::vector<Job> jobs = {tinyJob(1), tinyJob(2), tinyJob(3),
+                             tinyJob(4)};
+    std::vector<JobResult> results;
+    ASSERT_TRUE(
+        runThroughDaemon(config.socketPath, jobs, results, error))
+        << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, error)) << error;
+    Json request = Json::object();
+    request.set("op", "stats");
+    Json reply;
+    ASSERT_TRUE(client.call(request, reply, error)) << error;
+
+    const Json *workers = reply.find("workers");
+    ASSERT_NE(workers, nullptr);
+    EXPECT_EQ(workers->asInt(), 2);
+    const Json *highWater = reply.find("high_water");
+    ASSERT_NE(highWater, nullptr);
+    const Json *restarts = reply.find("worker_restarts");
+    ASSERT_NE(restarts, nullptr);
+    EXPECT_EQ(restarts->asInt(), 0);
+    const Json *queueDepth = reply.find("queue_depth");
+    ASSERT_NE(queueDepth, nullptr);
+    EXPECT_EQ(queueDepth->asInt(), 0);
+
+    const Json *perWorker = reply.find("per_worker");
+    ASSERT_NE(perWorker, nullptr);
+    ASSERT_EQ(perWorker->kind(), Json::Kind::Array);
+    ASSERT_EQ(perWorker->size(), 2u);
+    int64_t completed = 0;
+    for (size_t i = 0; i < perWorker->size(); ++i) {
+        const Json &row = perWorker->at(i);
+        const Json *jobsDone = row.find("jobs_completed");
+        ASSERT_NE(jobsDone, nullptr);
+        completed += jobsDone->asInt();
+        EXPECT_NE(row.find("pid"), nullptr);
+        EXPECT_NE(row.find("disk_hits"), nullptr);
+        EXPECT_NE(row.find("disk_misses"), nullptr);
+        EXPECT_NE(row.find("artifact_builds"), nullptr);
+    }
+    EXPECT_EQ(completed, static_cast<int64_t>(jobs.size()));
+    server.stop();
+}
+
+TEST(ServeFleetTest, WorkerSigkillMidSweepLosesNoRows)
+{
+    std::string dir = tempDir();
+    serve::ServerConfig config;
+    config.socketPath = dir + "/daemon.sock";
+    config.cacheDir = dir + "/cache";
+    config.workerProcesses = 2;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    ASSERT_NE(server.fleet(), nullptr);
+
+    std::vector<Job> jobs = {longJob(), tinyJob(1), tinyJob(2),
+                             tinyJob(3)};
+    std::vector<JobResult> results;
+    std::thread sweep([&] {
+        EXPECT_TRUE(
+            runThroughDaemon(config.socketPath, jobs, results, error))
+            << error;
+    });
+    // Kill worker 0 while the sweep is in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    pid_t victim = server.fleet()->stats()[0].pid;
+    if (victim > 0)
+        ::kill(victim, SIGKILL);
+    sweep.join();
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_TRUE(results[i].ok)
+            << jobs[i].tag << ": " << results[i].error;
+
+    // The sweep's rows match a plain local run row for row.
+    harness::ArtifactCache local;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        JobResult viaLocal = harness::executeJob(jobs[i], local);
+        ASSERT_TRUE(viaLocal.ok) << viaLocal.error;
+        EXPECT_EQ(canon(results[i]), canon(viaLocal)) << jobs[i].tag;
+    }
+    server.stop();
+}
